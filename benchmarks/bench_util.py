@@ -1,0 +1,35 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding experiment once under pytest-benchmark (pedantic mode --
+these are minutes-scale simulations, not microbenchmarks), asserts the
+paper's qualitative shape, and writes the regenerated rows to
+``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Instruction budget per (workload, policy, config) simulation.  The
+#: paper used 100M-instruction runs on a C simulator; this is the
+#: laptop-Python equivalent, enough for the relative orderings to settle.
+BENCH_INSTRUCTIONS = 60_000
+
+
+def record(name: str, payload) -> None:
+    """Persist a regenerated figure/table for inspection."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    print(f"\n=== {name} ===")
+    print(json.dumps(payload, indent=2, default=str))
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,6 @@
+"""Make the shared benchmark helpers importable during collection."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

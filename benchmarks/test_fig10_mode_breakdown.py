@@ -1,0 +1,22 @@
+"""Figure 10: breakdown of execution cycles by SWQUE mode.
+
+Paper shape: moderate-ILP programs spend most of their time in CIRC-PC
+mode; memory-intensive (MLP) and rich-ILP programs are essentially
+configured as AGE.
+"""
+
+from repro.sim.experiments import figure10
+
+from bench_util import BENCH_INSTRUCTIONS, record, run_once
+
+
+def test_figure10(benchmark):
+    out = run_once(benchmark, lambda: figure10(num_instructions=BENCH_INSTRUCTIONS))
+    record("fig10_mode_breakdown", out)
+    milp = [e["circ-pc"] for e in out.values() if e["class"] == "m-ILP"]
+    mlp = [e["circ-pc"] for e in out.values() if e["class"] == "MLP"]
+    # m-ILP programs favour CIRC-PC mode...
+    assert sum(milp) / len(milp) > 0.5
+    assert max(milp) > 0.9
+    # ...while MLP programs run (almost) entirely as AGE.
+    assert all(frac < 0.15 for frac in mlp)

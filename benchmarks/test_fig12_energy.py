@@ -1,0 +1,21 @@
+"""Figure 12: IQ energy of SWQUE relative to the idealized SHIFT.
+
+Paper shape: SWQUE consumes almost the same energy as I-SHIFT (+0.5%),
+and the SWQUE-specific share (extra select logic + doubled tag RAM
+accesses) is tiny -- the static part too small to even see in the figure.
+"""
+
+from repro.sim.experiments import figure12
+
+from bench_util import BENCH_INSTRUCTIONS, record, run_once
+
+
+def test_figure12(benchmark):
+    out = run_once(benchmark, lambda: figure12(num_instructions=BENCH_INSTRUCTIONS))
+    record("fig12_energy_vs_ishift", out)
+    # Within a few percent of the idealized shifting queue.
+    assert 0.90 < out["relative_energy_geomean"] < 1.10
+    shares = out["swque_breakdown_shares"]
+    swque_specific = shares["static_swque"] + shares["dynamic_swque"]
+    assert swque_specific < 0.06
+    assert shares["static_swque"] < 0.05

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Compare all seven IQ organizations across the three program classes.
+
+Reproduces the Figure 8 / Figure 11 story at example scale: SHIFT is the
+IPC upper bound, CIRC and RAND lose double digits, AGE recovers part of
+it, the priority-correcting CIRC-PC tracks the CIRC-PPRI oracle, and
+SWQUE picks the right mode per program.
+
+    python examples/compare_iq_policies.py [instructions]
+"""
+
+import sys
+
+from repro.sim.runner import format_table, run_policies
+
+POLICIES = ["shift", "age", "rand", "circ", "circ-ppri", "circ-pc", "swque"]
+#: One representative per class: priority-sensitive, capacity-demanding,
+#: and memory-intensive.
+WORKLOADS = ["exchange2", "bwaves", "omnetpp"]
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    print(f"Running {len(WORKLOADS)}x{len(POLICIES)} simulations of "
+          f"{instructions:,} instructions each...\n")
+    results = run_policies(WORKLOADS, POLICIES, num_instructions=instructions)
+
+    rows = []
+    for workload in WORKLOADS:
+        shift_ipc = results[workload]["shift"].ipc
+        for policy in POLICIES:
+            result = results[workload][policy]
+            rows.append([
+                workload,
+                policy,
+                result.ipc,
+                (result.ipc / shift_ipc - 1) * 100,
+                result.mpki,
+                result.stats.mean_iq_occupancy,
+            ])
+    print(format_table(
+        ["workload", "policy", "IPC", "vs SHIFT (%)", "MPKI", "IQ occupancy"],
+        rows,
+    ))
+    print(
+        "\nReading guide: exchange2 (m-ILP) rewards correct priority --\n"
+        "CIRC-PC approaches SHIFT while RAND/CIRC collapse; omnetpp (MLP)\n"
+        "rewards capacity -- the circular queues lose, AGE/RAND tie SHIFT;\n"
+        "bwaves (r-ILP) saturates the FP units and flattens the field."
+    )
+
+
+if __name__ == "__main__":
+    main()

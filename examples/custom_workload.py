@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Build a custom workload and study CIRC's wrap-around problem directly.
+
+Defines a workload from scratch with the :class:`PhaseSpec` knobs, then
+compares the three circular queues (CIRC, CIRC-PPRI, CIRC-PC) against
+SHIFT while sweeping the branch-slice depth -- the knob that controls how
+much a mispredicted branch's resolution depends on correct issue priority
+(the Figure 11 story, parameterized).
+
+    python examples/custom_workload.py [instructions]
+"""
+
+import sys
+
+from repro.sim.runner import format_table, run_policies
+from repro.sim.simulator import simulate
+from repro.workloads.generator import generate_trace
+from repro.workloads.profile import PhaseSpec, WorkloadProfile
+
+KB = 1024
+
+
+def build_workload(slice_depth: int) -> WorkloadProfile:
+    phase = PhaseSpec(
+        instructions=10_000,
+        parallel_chains=8,
+        critical_chains=3,
+        chain_break_interval=5,
+        critical_load_fraction=0.6,
+        load_fraction=0.08,
+        store_fraction=0.05,
+        branch_fraction=0.10,
+        random_branch_fraction=0.14,
+        branch_flip_rate=0.05,
+        branch_slice_depth=slice_depth,
+        memory_pattern="stream",
+        footprint_bytes=16 * KB,
+    )
+    return WorkloadProfile(
+        name=f"custom-slice{slice_depth}",
+        suite="int",
+        phases=(phase,),
+        description="hand-built priority-sensitivity sweep",
+    )
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    policies = ["shift", "circ", "circ-ppri", "circ-pc"]
+    rows = []
+    for depth in (0, 3, 6):
+        trace = generate_trace(build_workload(depth), instructions)
+        results = {p: simulate(trace, p) for p in policies}
+        shift_ipc = results["shift"].ipc
+        for policy in policies[1:]:
+            rows.append([
+                depth,
+                policy,
+                results[policy].ipc,
+                (results[policy].ipc / shift_ipc - 1) * 100,
+            ])
+    print(format_table(
+        ["slice depth", "policy", "IPC", "vs SHIFT (%)"], rows
+    ))
+    print(
+        "\nDeeper branch slices put more work behind each misprediction:\n"
+        "CIRC's reversed wrap-around priority gets costlier, while the\n"
+        "priority-correcting CIRC-PC stays near the CIRC-PPRI oracle."
+    )
+
+
+if __name__ == "__main__":
+    main()

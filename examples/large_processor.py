@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Medium vs large processor: how window size changes SWQUE's advantage.
+
+Section 4.3's experiment: the large model (8-wide, 256-entry IQ, 512-entry
+ROB) has more issue conflicts and more capacity slack, so correct priority
+matters *more* and SWQUE's advantage over AGE grows.
+
+    python examples/large_processor.py [instructions]
+"""
+
+import sys
+
+from repro.config import LARGE, MEDIUM
+from repro.sim.results import geomean
+from repro.sim.runner import format_table, run_policies
+
+WORKLOADS = ["deepsjeng", "leela", "exchange2", "perlbench"]
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    rows = []
+    speedups = {}
+    for config in (MEDIUM, LARGE):
+        results = run_policies(WORKLOADS, ["age", "swque"], config=config,
+                               num_instructions=instructions)
+        speedups[config.name] = []
+        for workload in WORKLOADS:
+            age = results[workload]["age"]
+            swq = results[workload]["swque"]
+            gain = swq.ipc / age.ipc - 1
+            speedups[config.name].append(swq.ipc / age.ipc)
+            rows.append([workload, config.name, age.ipc, swq.ipc,
+                         gain * 100])
+    print(format_table(
+        ["workload", "processor", "AGE IPC", "SWQUE IPC", "speedup (%)"],
+        rows,
+    ))
+    for name, ratios in speedups.items():
+        print(f"\ngeomean speedup on {name}: {geomean(ratios) - 1:+.1%}")
+    print("\nThe paper reports the same trend: INT speedup grows from 9.7%\n"
+          "(medium) to 13.4% (large) as the window scales (Section 4.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: SWQUE vs the AGE baseline on one benchmark.
+
+Runs the paper's headline comparison on a single moderate-ILP program:
+the AGE issue queue (a random queue with an age matrix, as used in
+current processors) against SWQUE (the paper's mode-switching queue).
+
+    python examples/quickstart.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import simulate
+from repro.workloads.spec2017 import SPEC2017_PROFILES
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "exchange2"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    profile = SPEC2017_PROFILES[benchmark]
+    print(f"benchmark : {benchmark} ({profile.classification}, "
+          f"{profile.suite.upper()} suite)")
+    print(f"trace     : {instructions:,} instructions "
+          f"(first quarter warms caches/predictors)\n")
+
+    age = simulate(benchmark, "age", num_instructions=instructions)
+    swq = simulate(benchmark, "swque", num_instructions=instructions)
+
+    print(f"{'policy':<8} {'IPC':>6} {'MPKI':>6} {'bMPKI':>6} {'IQ occ':>7}")
+    for result in (age, swq):
+        print(f"{result.policy:<8} {result.ipc:>6.3f} {result.mpki:>6.2f} "
+              f"{result.stats.branch_mpki:>6.2f} "
+              f"{result.stats.mean_iq_occupancy:>7.1f}")
+
+    print(f"\nSWQUE speedup over AGE: {swq.ipc / age.ipc - 1:+.1%}")
+    if swq.mode_fractions:
+        circ_pc = swq.mode_fractions.get("circ-pc", 0.0)
+        print(f"SWQUE spent {circ_pc:.0%} of its cycles in CIRC-PC mode "
+              f"({swq.mode_switches} mode switches)")
+
+
+if __name__ == "__main__":
+    main()

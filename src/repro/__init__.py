@@ -1,0 +1,36 @@
+"""SWQUE reproduction: a mode-switching issue queue with a priority-correcting
+circular queue (Ando, MICRO-52 2019).
+
+Quickstart::
+
+    from repro import simulate
+    age = simulate("deepsjeng", "age")
+    swq = simulate("deepsjeng", "swque")
+    print(f"SWQUE speedup: {swq.ipc / age.ipc - 1:+.1%}")
+
+Public surface:
+
+* :func:`repro.sim.simulate` -- run one workload under one IQ policy.
+* :mod:`repro.core` -- the IQ organizations (SHIFT/RAND/AGE/CIRC/CIRC-PC/SWQUE).
+* :mod:`repro.workloads` -- the SPEC2017-like synthetic workload suite.
+* :mod:`repro.power` -- energy / area / delay models for the IQ circuits.
+* :mod:`repro.sim.experiments` -- one function per paper figure and table.
+"""
+
+from repro.config import LARGE, MEDIUM, ProcessorConfig, SwqueParams
+from repro.sim.results import SimResult, geomean, speedup
+from repro.sim.simulator import simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LARGE",
+    "MEDIUM",
+    "ProcessorConfig",
+    "SwqueParams",
+    "SimResult",
+    "geomean",
+    "speedup",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,106 @@
+"""Command-line entry point: run simulations and paper experiments.
+
+Examples::
+
+    python -m repro run deepsjeng swque --instructions 60000
+    python -m repro compare exchange2 --policies shift age swque
+    python -m repro experiment fig8 --instructions 40000
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import LARGE, MEDIUM
+from repro.core.factory import IQ_POLICIES
+from repro.sim import experiments
+from repro.sim.runner import format_table, run_policies
+from repro.sim.simulator import simulate
+from repro.workloads.spec2017 import SPEC2017_PROFILES
+
+_EXPERIMENTS = {
+    "fig8": experiments.figure8,
+    "fig9": experiments.figure9,
+    "fig10": experiments.figure10,
+    "fig11": experiments.figure11,
+    "fig12": experiments.figure12,
+    "fig13": experiments.figure13,
+    "fig14": experiments.figure14,
+    "tab5": experiments.table5,
+    "tab6": experiments.table6,
+    "sec47": experiments.section47,
+    "sec48": experiments.section48,
+}
+
+#: Experiments that take no instruction budget (pure circuit models).
+_ANALYTIC = {"fig13", "tab5", "sec47"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SWQUE (MICRO 2019) reproduction: simulations and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload under one IQ policy")
+    run.add_argument("workload", choices=sorted(SPEC2017_PROFILES))
+    run.add_argument("policy", choices=IQ_POLICIES)
+    run.add_argument("--instructions", type=int, default=60_000)
+    run.add_argument("--large", action="store_true", help="use the large model")
+
+    compare = sub.add_parser("compare", help="compare IQ policies on one workload")
+    compare.add_argument("workload", choices=sorted(SPEC2017_PROFILES))
+    compare.add_argument("--policies", nargs="+", default=["shift", "age", "swque"],
+                         choices=IQ_POLICIES)
+    compare.add_argument("--instructions", type=int, default=60_000)
+    compare.add_argument("--large", action="store_true")
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--instructions", type=int, default=60_000)
+
+    sub.add_parser("list", help="list workloads and policies")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        rows = [
+            [name, p.suite, p.classification, p.description]
+            for name, p in sorted(SPEC2017_PROFILES.items())
+        ]
+        print(format_table(["workload", "suite", "class", "description"], rows))
+        print("\npolicies:", ", ".join(IQ_POLICIES))
+        return 0
+    if args.command == "run":
+        config = LARGE if args.large else MEDIUM
+        result = simulate(args.workload, args.policy, config=config,
+                          num_instructions=args.instructions)
+        print(result.summary())
+        return 0
+    if args.command == "compare":
+        config = LARGE if args.large else MEDIUM
+        results = run_policies([args.workload], args.policies, config=config,
+                               num_instructions=args.instructions)
+        rows = [[p, r.ipc, r.mpki, r.stats.branch_mpki]
+                for p, r in results[args.workload].items()]
+        print(format_table(["policy", "IPC", "MPKI", "branch MPKI"], rows))
+        return 0
+    if args.command == "experiment":
+        func = _EXPERIMENTS[args.name]
+        if args.name in _ANALYTIC:
+            out = func()
+        else:
+            out = func(num_instructions=args.instructions)
+        print(json.dumps(out, indent=2, default=str))
+        return 0
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Issue-queue organizations: the paper's contribution.
+
+Seven IQ organizations are provided:
+
+* :class:`~repro.core.shift.ShiftQueue` -- SHIFT, the compacting shifting
+  queue with perfect age priority (DEC Alpha 21264 style).
+* :class:`~repro.core.rand.RandomQueue` -- RAND, dispatch into holes,
+  position-based (effectively random) priority.
+* :class:`~repro.core.age.AgeQueue` -- AGE, RAND plus an age matrix that
+  gives the single oldest ready instruction top priority (modern CPUs);
+  optionally with multiple age matrices (Section 4.9).
+* :class:`~repro.core.circ.CircularQueue` -- CIRC, the conventional circular
+  queue whose priority reverses on wrap-around.
+* :class:`~repro.core.circ.CircularQueuePerfectPriority` -- CIRC-PPRI, the
+  idealized circular queue with oracle-correct priority (Section 4.4).
+* :class:`~repro.core.circ_pc.CircPCQueue` -- CIRC-PC, the paper's
+  priority-correcting circular queue (Section 3.1).
+* :class:`~repro.core.swque.SwitchingQueue` -- SWQUE, the mode-switching IQ
+  (Section 3.2).
+
+Use :func:`~repro.core.factory.build_issue_queue` to construct any of them
+by name.
+"""
+
+from repro.core.base import IssueQueue
+from repro.core.shift import ShiftQueue
+from repro.core.rand import RandomQueue
+from repro.core.age import AgeQueue
+from repro.core.circ import CircularQueue, CircularQueuePerfectPriority
+from repro.core.circ_pc import CircPCQueue
+from repro.core.swque import SwitchingQueue
+from repro.core.factory import build_issue_queue, IQ_POLICIES
+
+__all__ = [
+    "IssueQueue",
+    "ShiftQueue",
+    "RandomQueue",
+    "AgeQueue",
+    "CircularQueue",
+    "CircularQueuePerfectPriority",
+    "CircPCQueue",
+    "SwitchingQueue",
+    "build_issue_queue",
+    "IQ_POLICIES",
+]

@@ -1,0 +1,117 @@
+"""AGE: random queue plus age matrix (Section 2.3), the modern baseline.
+
+AGE keeps RAND's full capacity efficiency but adds an age matrix that gives
+the *single oldest* ready instruction top priority each cycle; all other
+ready instructions are still selected in (random) position order.  This is
+the organization used in current commercial processors and the baseline of
+the paper's headline comparison.
+
+Section 4.9's enhancement is also implemented here: multiple age matrices,
+one per logical *bucket* of function units.  Instructions are steered to
+the least-occupied bucket of their unit group at dispatch, and each
+bucket's oldest ready instruction is granted top priority (ordered by age
+among the bucket winners).  The IQ remains monolithic -- buckets are a
+select-logic concept only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.rand import RandomQueue
+from repro.cpu.dyninst import DynInst
+from repro.cpu.isa import FuClass
+
+#: Function-unit group used for bucket steering.
+_FU_GROUP = {
+    FuClass.IALU: "int",
+    FuClass.IMULT: "int",
+    FuClass.LDST: "mem",
+    FuClass.FPU: "fp",
+}
+
+#: Bucket counts per group, keyed by processor-model name (Section 4.9:
+#: seven matrices for the medium model, nine for the large model).
+MULTI_AM_BUCKETS = {
+    "medium": {"int": 3, "mem": 2, "fp": 2},
+    "large": {"int": 4, "mem": 2, "fp": 3},
+}
+
+
+class AgeQueue(RandomQueue):
+    """RAND + age matrix (single, or one per bucket for Section 4.9)."""
+
+    name = "age"
+
+    def __init__(
+        self,
+        *args,
+        buckets: Optional[Dict[str, int]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._buckets = dict(buckets) if buckets else None
+        if self._buckets is not None:
+            for group, count in self._buckets.items():
+                if group not in ("int", "mem", "fp"):
+                    raise ValueError(f"unknown bucket group {group!r}")
+                if count < 1:
+                    raise ValueError("bucket counts must be positive")
+            # Assign global bucket ids: int buckets first, then mem, then fp.
+            self._bucket_range: Dict[str, range] = {}
+            start = 0
+            for group in ("int", "mem", "fp"):
+                count = self._buckets.get(group, 1)
+                self._bucket_range[group] = range(start, start + count)
+                start += count
+            self._bucket_occ = [0] * start
+
+    @property
+    def num_age_matrices(self) -> int:
+        if self._buckets is None:
+            return 1
+        return sum(self._buckets.values())
+
+    # -- dispatch steering --------------------------------------------------------
+
+    def dispatch(self, inst: DynInst) -> None:
+        super().dispatch(inst)
+        if self._buckets is not None:
+            candidates = self._bucket_range[_FU_GROUP[inst.fu_class]]
+            # Load-balancing steer: least-occupied bucket of the group.
+            bucket = min(candidates, key=lambda b: self._bucket_occ[b])
+            inst.iq_bucket = bucket
+            self._bucket_occ[bucket] += 1
+
+    def remove(self, inst: DynInst) -> None:
+        if self._buckets is not None and inst.iq_bucket >= 0:
+            self._bucket_occ[inst.iq_bucket] -= 1
+            inst.iq_bucket = -1
+        super().remove(inst)
+
+    def flush(self) -> None:
+        if self._buckets is not None:
+            self._bucket_occ = [0] * len(self._bucket_occ)
+            for inst in self._slots:
+                if inst is not None:
+                    inst.iq_bucket = -1
+        super().flush()
+
+    # -- selection ----------------------------------------------------------------
+
+    def ordered_ready(self) -> List[DynInst]:
+        """Position order, with age-matrix winners promoted to the front."""
+        ordered = sorted(self.ready, key=lambda i: i.iq_slot)
+        if len(ordered) <= 1:
+            return ordered
+        if self._buckets is None:
+            winners = [min(ordered, key=lambda i: i.seq)]
+        else:
+            best: Dict[int, DynInst] = {}
+            for inst in ordered:
+                current = best.get(inst.iq_bucket)
+                if current is None or inst.seq < current.seq:
+                    best[inst.iq_bucket] = inst
+            winners = sorted(best.values(), key=lambda i: i.seq)
+        winner_ids = {id(w) for w in winners}
+        return winners + [i for i in ordered if id(i) not in winner_ids]

@@ -1,0 +1,88 @@
+"""Age-matrix logic model (Section 2.3).
+
+The age matrix is the circuit that lets a random queue (RAND) find its
+single oldest *ready* instruction: each row and column corresponds to an IQ
+entry, and each cell holds one bit of age-ordering information.  A row's
+instruction is the oldest requester when no *older* entry is also
+requesting, which the circuit evaluates by ANDing the row vector with the
+transposed request vector.
+
+The timing model in :class:`~repro.core.age.AgeQueue` uses the sequence
+number directly (a behaviourally identical shortcut); this class exists as
+the faithful circuit-level model and is validated against that oracle in
+the test suite.  Rows are stored as Python integers used as bitsets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class AgeMatrix:
+    """N x N age-ordering matrix over IQ slots."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("age matrix size must be positive")
+        self.size = size
+        #: ``older_mask[r]`` has bit ``c`` set when the instruction in slot
+        #: ``r`` is older than the instruction in slot ``c``.
+        self.older_mask = [0] * size
+        self._occupied = 0  # bitset of valid slots
+
+    def insert(self, slot: int) -> None:
+        """A new (youngest) instruction was dispatched into ``slot``."""
+        self._check(slot)
+        bit = 1 << slot
+        if self._occupied & bit:
+            raise ValueError(f"slot {slot} already occupied")
+        # Every existing instruction is older than the newcomer.
+        occupied = self._occupied
+        for row in range(self.size):
+            if occupied & (1 << row):
+                self.older_mask[row] |= bit
+        self.older_mask[slot] = 0
+        self._occupied |= bit
+
+    def remove(self, slot: int) -> None:
+        """The instruction in ``slot`` issued (or was squashed)."""
+        self._check(slot)
+        bit = 1 << slot
+        if not self._occupied & bit:
+            raise ValueError(f"slot {slot} is empty")
+        self._occupied &= ~bit
+        clear = ~bit
+        for row in range(self.size):
+            self.older_mask[row] &= clear
+        self.older_mask[slot] = 0
+
+    def oldest(self, request_slots: Iterable[int]) -> Optional[int]:
+        """Return the requesting slot holding the oldest instruction.
+
+        ``request_slots`` are the slots raising issue requests this cycle.
+        Returns ``None`` when no request comes from a valid slot.
+        """
+        request_mask = 0
+        for slot in request_slots:
+            self._check(slot)
+            request_mask |= 1 << slot
+        request_mask &= self._occupied
+        if not request_mask:
+            return None
+        for slot in range(self.size):
+            bit = 1 << slot
+            if not request_mask & bit:
+                continue
+            # slot wins when every *other* requester is younger than it,
+            # i.e. the row covers all requesters except itself.
+            if (request_mask & ~bit) & ~self.older_mask[slot] == 0:
+                return slot
+        raise AssertionError("age matrix inconsistent: no oldest requester")
+
+    def clear(self) -> None:
+        self.older_mask = [0] * self.size
+        self._occupied = 0
+
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self.size:
+            raise IndexError(f"slot {slot} out of range [0, {self.size})")

@@ -1,0 +1,186 @@
+"""Issue-queue base class: the contract every IQ organization implements.
+
+The pipeline interacts with an IQ through five operations:
+
+* :meth:`IssueQueue.can_dispatch` / :meth:`IssueQueue.dispatch` -- back end
+  of the rename/dispatch stage.
+* :meth:`IssueQueue.wakeup` -- called when an instruction's last source
+  operand resolves; the instruction joins the ready set.
+* :meth:`IssueQueue.select` -- the wakeup-select stage: choose up to
+  ``issue_width`` ready instructions in *priority order*, subject to
+  function-unit availability, and remove them from the queue.
+* :meth:`IssueQueue.flush` -- squash everything (mispredict-style recovery,
+  used by SWQUE mode switches).
+
+Priority is the whole point of the paper, so the base class centralizes the
+bookkeeping around it: :meth:`priority_rank` maps an instruction to its
+current rank in the select order (0 = highest priority), and select() counts
+issues from the *lowest-priority region* of the queue — the FLPI metric that
+drives SWQUE's mode switching (Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional, TYPE_CHECKING
+
+from repro.cpu.dyninst import DynInst
+from repro.cpu.stats import PipelineStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cpu.fu import FunctionUnitPool
+
+
+class IssueQueue(ABC):
+    """Abstract issue queue with shared ready-set and FLPI machinery."""
+
+    #: Short policy name, overridden by subclasses (used in reports).
+    name = "abstract"
+
+    def __init__(
+        self,
+        size: int,
+        issue_width: int,
+        flpi_region_fraction: float = 0.25,
+        stats: Optional[PipelineStats] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("issue queue size must be positive")
+        if issue_width < 1:
+            raise ValueError("issue width must be positive")
+        if not 0.0 < flpi_region_fraction <= 1.0:
+            raise ValueError("FLPI region fraction must be in (0, 1]")
+        self.size = size
+        self.issue_width = issue_width
+        self.stats = stats if stats is not None else PipelineStats()
+        #: First rank that counts as the low-priority region.
+        self.low_region_start = max(1, int(round(size * (1.0 - flpi_region_fraction))))
+        #: Instructions whose operands are all ready, awaiting selection.
+        self.ready: List[DynInst] = []
+        self.occupancy = 0
+        # Per-interval FLPI counters (reset by the SWQUE controller).
+        self.interval_issues = 0
+        self.interval_low_issues = 0
+
+    # -- dispatch ------------------------------------------------------------------
+
+    @abstractmethod
+    def can_dispatch(self) -> bool:
+        """True when one more instruction can be written into the queue."""
+
+    @abstractmethod
+    def dispatch(self, inst: DynInst) -> None:
+        """Write ``inst`` into the queue (caller checked :meth:`can_dispatch`)."""
+
+    # -- wakeup-select ---------------------------------------------------------------
+
+    def wakeup(self, inst: DynInst) -> None:
+        """All of ``inst``'s source operands are now resolved."""
+        self.ready.append(inst)
+
+    @abstractmethod
+    def ordered_ready(self) -> List[DynInst]:
+        """The current ready set, sorted highest priority first."""
+
+    @abstractmethod
+    def priority_rank(self, inst: DynInst) -> int:
+        """Current select-priority rank of ``inst`` (0 = highest, < size)."""
+
+    @abstractmethod
+    def remove(self, inst: DynInst) -> None:
+        """Remove an issued instruction's entry (slot becomes a hole)."""
+
+    def select(self, fu_pool: "FunctionUnitPool", cycle: int) -> List[DynInst]:
+        """Issue up to ``issue_width`` ready instructions in priority order.
+
+        Walks the ready set highest-priority first, granting each candidate
+        whose function-unit class still has a free unit this cycle, until the
+        issue width is exhausted.  Granted instructions are removed from the
+        queue and returned.
+        """
+        if not self.ready:
+            return []
+        self.stats.iq_select_ops += 1
+        granted: List[DynInst] = []
+        for inst in self.ordered_ready():
+            if len(granted) >= self.issue_width:
+                break
+            if fu_pool.try_claim(inst, cycle):
+                granted.append(inst)
+        self._commit_grants(granted)
+        return granted
+
+    def _commit_grants(self, granted: Iterable[DynInst]) -> None:
+        """Account for and remove a cycle's granted instructions."""
+        for inst in granted:
+            rank = self.priority_rank(inst)
+            self.interval_issues += 1
+            if rank >= self.low_region_start:
+                self.interval_low_issues += 1
+                self.stats.low_region_issues += 1
+            self.ready.remove(inst)
+            self.remove(inst)
+            self.stats.iq_tag_ram_reads += 1
+            self.stats.iq_payload_reads += 1
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def evict(self, inst: DynInst) -> None:
+        """Remove one squashed instruction (mispredict squash-younger)."""
+        for idx, candidate in enumerate(self.ready):
+            if candidate is inst:
+                del self.ready[idx]
+                break
+        if inst.in_iq:
+            self.remove(inst)
+
+    def flush(self) -> None:
+        """Squash every instruction in the queue."""
+        self.ready.clear()
+        self.occupancy = 0
+
+    def tick(self, cycle: int) -> None:
+        """Per-cycle hook; default records occupancy for utilization stats."""
+        self.stats.iq_occupancy_sum += self.occupancy
+
+    # -- mode-switching hooks (no-ops except in SWQUE) -------------------------------
+
+    #: Cycles of front-end penalty the pipeline charges when flushing on
+    #: behalf of the queue (SWQUE mode switches).
+    flush_penalty = 0
+
+    @property
+    def wants_flush(self) -> bool:
+        """True when the queue asks the pipeline for a flush (mode switch)."""
+        return False
+
+    def note_commit(self, count: int, llc_misses_total: int) -> None:
+        """Commit-stage hook: ``count`` instructions retired this cycle."""
+
+    # -- FLPI ------------------------------------------------------------------------
+
+    @property
+    def interval_flpi(self) -> float:
+        """Fraction of this interval's issues that came from the low region."""
+        if not self.interval_issues:
+            return 0.0
+        return self.interval_low_issues / self.interval_issues
+
+    def reset_interval_counters(self) -> None:
+        self.interval_issues = 0
+        self.interval_low_issues = 0
+
+    # -- misc ------------------------------------------------------------------------
+
+    @property
+    def is_full(self) -> bool:
+        return not self.can_dispatch()
+
+    def __len__(self) -> int:
+        return self.occupancy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} size={self.size} occ={self.occupancy} "
+            f"ready={len(self.ready)}>"
+        )

@@ -1,0 +1,75 @@
+"""Criticality-oracle select policy (Fields et al., ISCA 2001, idealized).
+
+The paper's related work notes that age-based priority is only a heuristic
+for true dataflow criticality, and that criticality predictors are too
+complex to build.  As an *oracle upper bound* we pre-analyse the trace:
+each instruction's criticality is the latency-weighted height of its
+downstream dependence tree (how much serial work hangs off its result),
+and the select logic issues ready instructions in descending criticality.
+
+This is unimplementable in hardware (it reads the future); it exists to
+bound how much any priority scheme could gain over age order on our
+workloads -- an ablation for DESIGN.md's "correct priority" discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.rand import RandomQueue
+from repro.cpu.dyninst import DynInst
+from repro.cpu.isa import OP_LATENCY, OpClass
+from repro.cpu.trace import Trace
+
+
+def compute_criticality(trace: Trace) -> Dict[int, int]:
+    """Latency-weighted downstream dataflow height per instruction.
+
+    ``height[i]`` is the longest latency chain from instruction ``i`` to
+    any leaf that transitively consumes its result (including ``i``'s own
+    latency).  Dependences point backwards in a trace, so one reverse pass
+    over the consumer lists suffices.
+    """
+    n = len(trace)
+    consumers: List[List[int]] = [[] for _ in range(n)]
+    last_writer: Dict[int, int] = {}
+    for inst in trace:
+        for src in inst.srcs:
+            producer = last_writer.get(src)
+            if producer is not None:
+                consumers[producer].append(inst.seq)
+        if inst.dest is not None:
+            last_writer[inst.dest] = inst.seq
+    heights = [0] * n
+    for seq in range(n - 1, -1, -1):
+        inst = trace[seq]
+        latency = OP_LATENCY[inst.op]
+        if inst.op is OpClass.LOAD:
+            latency += 2  # typical L1 access on top of address generation
+        downstream = max((heights[c] for c in consumers[seq]), default=0)
+        heights[seq] = latency + downstream
+    return {seq: heights[seq] for seq in range(n)}
+
+
+class CriticalityOracleQueue(RandomQueue):
+    """Random-queue storage with oracle criticality-ordered select."""
+
+    name = "critical-oracle"
+
+    def __init__(self, *args, criticality: Dict[int, int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._criticality = criticality if criticality is not None else {}
+
+    def _key(self, inst: DynInst):
+        # Highest criticality first; age breaks ties.  Wrong-path junk is
+        # not in the analysis (the oracle knows it is useless).
+        return (-self._criticality.get(inst.seq, 0) if not inst.wrong_path else 1,
+                inst.seq)
+
+    def ordered_ready(self) -> List[DynInst]:
+        return sorted(self.ready, key=self._key)
+
+    def priority_rank(self, inst: DynInst) -> int:
+        # Report position rank (the storage is still a random queue); the
+        # FLPI metric keeps its physical meaning.
+        return inst.iq_slot

@@ -1,0 +1,83 @@
+"""Destination tag multiplexer (DTM) logic model (Section 3.1.5, Figure 6).
+
+The DTM sits above the tag RAM and merges two tag groups before the
+broadcast to the wakeup logic:
+
+* ``nr`` tags -- read for this cycle's NR grants, aligned from the left
+  (index 0 = highest priority), and
+* ``rv`` tags -- last cycle's RV grants, held in the pending tag latches
+  (PTLs), aligned from the *right* in opposing priority order.
+
+MUX ``i`` outputs ``nr[i]`` when its valid bit is set and ``rv[IW-1-i]``
+otherwise; the opposing alignment is what merges the two groups in priority
+order with NR tags winning.  RV tags that are displaced by NR tags are
+simply discarded (the corresponding instruction stays in the IQ and
+requests again).  The final grant to the payload RAM follows the same
+selection:
+
+    grant_final_i = V_i * grant_NR_i  +  !V_i * grant_RV_{IW-1-i}
+
+``None`` plays the role of the bogus (all-zero) tag the 8T tag RAM outputs
+on an unasserted wordline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _padded(tags: Sequence[Optional[T]], issue_width: int, label: str) -> List[Optional[T]]:
+    if len(tags) > issue_width:
+        raise ValueError(f"more than issue_width {label} tags: {len(tags)}")
+    out = list(tags) + [None] * (issue_width - len(tags))
+    # Tags must be aligned on one side in priority order (Section 2.2.2);
+    # a valid tag after a bogus one would mean a mis-aligned select output.
+    seen_invalid = False
+    for tag in out:
+        if tag is None:
+            seen_invalid = True
+        elif seen_invalid:
+            raise ValueError(f"{label} tags are not priority-aligned: {tags!r}")
+    return out
+
+
+def merge_tags(
+    nr_tags: Sequence[Optional[T]],
+    rv_tags: Sequence[Optional[T]],
+    issue_width: int,
+) -> List[Optional[T]]:
+    """Merge NR tags with pending RV tags, NR taking priority (Figure 6).
+
+    Returns the ``issue_width`` MUX outputs; ``None`` entries are bogus
+    tags (no instruction issued from that port).
+    """
+    nr = _padded(nr_tags, issue_width, "NR")
+    rv = _padded(rv_tags, issue_width, "RV")
+    return [
+        nr[i] if nr[i] is not None else rv[issue_width - 1 - i]
+        for i in range(issue_width)
+    ]
+
+
+def final_grants(
+    nr_grants: Sequence[Optional[T]],
+    rv_grants: Sequence[Optional[T]],
+    issue_width: int,
+) -> List[Optional[T]]:
+    """grant_final_i = V_i ? grant_NR_i : grant_RV_{IW-1-i} (Section 3.1.5).
+
+    The valid bit V_i is implied by ``nr_grants[i]`` being non-``None``.
+    The result lists which instruction each payload-RAM port reads.
+    """
+    return merge_tags(nr_grants, rv_grants, issue_width)
+
+
+def surviving_rv_count(num_nr: int, num_rv: int, issue_width: int) -> int:
+    """How many pending RV grants survive the merge against ``num_nr`` NR grants."""
+    if not 0 <= num_nr <= issue_width:
+        raise ValueError("NR grant count out of range")
+    if not 0 <= num_rv <= issue_width:
+        raise ValueError("RV grant count out of range")
+    return min(num_rv, issue_width - num_nr)

@@ -1,0 +1,120 @@
+"""Issue-queue construction by policy name.
+
+``build_issue_queue`` is the one place that knows how to wire each policy
+to a processor configuration; the simulator and all experiments go through
+it.  Policy names:
+
+========== =====================================================
+``shift``      SHIFT (compacting, perfect priority)
+``rand``       RAND (hole-filling, random priority)
+``age``        AGE (RAND + single age matrix) -- the baseline
+``age-multi``  AGE with multiple age matrices (Section 4.9)
+``circ``       CIRC (conventional circular queue)
+``circ-ppri``  CIRC with oracle-perfect priority (Section 4.4)
+``circ-pc``    CIRC-PC (priority-correcting circular queue)
+``swque``      SWQUE (mode switching; the paper's proposal)
+``swque-multi`` SWQUE whose AGE mode uses multiple age matrices
+``hsw``        hierarchical scheduling window (related work, Section 5)
+``oldq``       rearranging random queue with old queue (related work)
+``critical-oracle`` oracle criticality priority (upper-bound ablation;
+               requires the trace at construction time)
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import ProcessorConfig
+from repro.core.age import AgeQueue, MULTI_AM_BUCKETS
+from repro.core.base import IssueQueue
+from repro.core.circ import CircularQueue, CircularQueuePerfectPriority
+from repro.core.circ_pc import CircPCQueue
+from repro.core.critical import CriticalityOracleQueue, compute_criticality
+from repro.core.hsw import HierarchicalQueue
+from repro.core.oldq import OldQueue
+from repro.core.rand import RandomQueue
+from repro.core.shift import ShiftQueue
+from repro.core.swque import SwitchingQueue
+from repro.cpu.stats import PipelineStats
+from repro.cpu.trace import Trace
+
+#: All accepted policy names.
+IQ_POLICIES = (
+    "shift",
+    "rand",
+    "age",
+    "age-multi",
+    "circ",
+    "circ-ppri",
+    "circ-pc",
+    "swque",
+    "swque-multi",
+    "hsw",
+    "oldq",
+    "critical-oracle",
+)
+
+
+def _multi_am_buckets(config: ProcessorConfig) -> dict:
+    """Bucket counts for the multi-age-matrix variants (Section 4.9)."""
+    if config.name in MULTI_AM_BUCKETS:
+        return MULTI_AM_BUCKETS[config.name]
+    # Derive from the function-unit mix for custom configurations.
+    return {
+        "int": max(1, config.num_ialu),
+        "mem": max(1, config.num_ldst),
+        "fp": max(1, config.num_fpu),
+    }
+
+
+def build_issue_queue(
+    policy: str,
+    config: ProcessorConfig,
+    stats: Optional[PipelineStats] = None,
+    trace: Optional[Trace] = None,
+) -> IssueQueue:
+    """Construct the issue queue ``policy`` sized for ``config``.
+
+    ``trace`` is only needed by the ``critical-oracle`` ablation policy,
+    which pre-analyses the whole instruction stream.
+    """
+    size = config.iq_entries
+    width = config.issue_width
+    flpi_frac = config.swque.flpi_region_fraction
+    common = dict(flpi_region_fraction=flpi_frac, stats=stats)
+    if policy == "shift":
+        return ShiftQueue(size, width, **common)
+    if policy == "rand":
+        return RandomQueue(size, width, **common)
+    if policy == "age":
+        return AgeQueue(size, width, **common)
+    if policy == "age-multi":
+        return AgeQueue(size, width, buckets=_multi_am_buckets(config), **common)
+    if policy == "circ":
+        return CircularQueue(size, width, **common)
+    if policy == "circ-ppri":
+        return CircularQueuePerfectPriority(size, width, **common)
+    if policy == "circ-pc":
+        return CircPCQueue(size, width, **common)
+    if policy == "swque":
+        return SwitchingQueue(size, width, params=config.swque, stats=stats)
+    if policy == "swque-multi":
+        return SwitchingQueue(
+            size,
+            width,
+            params=config.swque,
+            age_buckets=_multi_am_buckets(config),
+            stats=stats,
+        )
+    if policy == "hsw":
+        return HierarchicalQueue(size, width, **common)
+    if policy == "oldq":
+        return OldQueue(size, width, **common)
+    if policy == "critical-oracle":
+        if trace is None:
+            raise ValueError("the critical-oracle policy needs the trace")
+        return CriticalityOracleQueue(
+            size, width, criticality=compute_criticality(trace), **common
+        )
+    raise ValueError(f"unknown IQ policy {policy!r}; choose from {IQ_POLICIES}")

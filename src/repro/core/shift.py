@@ -1,0 +1,68 @@
+"""SHIFT: the compacting shifting queue (Section 2.3).
+
+Instructions stay physically ordered by age from head to tail; a compaction
+circuit shifts entries to close the holes left by issued instructions, so
+the position-based select logic always sees a perfectly age-ordered queue
+and the full capacity is usable.  SHIFT is the IPC upper bound among the
+conventional queues (and the reference point of Figures 8 and 11), but its
+compaction circuit is slow and power-hungry, which is why it disappeared
+from real processors -- we count the entry movements it would perform so
+the energy model can tell that story.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List
+
+from repro.core.base import IssueQueue
+from repro.cpu.dyninst import DynInst
+
+
+class ShiftQueue(IssueQueue):
+    """Compacting, age-ordered issue queue with perfect priority."""
+
+    name = "shift"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Entries in age order; dispatch appends (program order), issue
+        # removes from the middle (the compaction shift).
+        self._entries: List[DynInst] = []
+        self._seqs: List[int] = []
+
+    def can_dispatch(self) -> bool:
+        return len(self._entries) < self.size
+
+    def dispatch(self, inst: DynInst) -> None:
+        if not self.can_dispatch():
+            raise RuntimeError("dispatch into a full SHIFT queue")
+        inst.in_iq = True
+        self._entries.append(inst)
+        self._seqs.append(inst.seq)
+        self.occupancy += 1
+
+    def ordered_ready(self) -> List[DynInst]:
+        return sorted(self.ready, key=lambda i: i.seq)
+
+    def priority_rank(self, inst: DynInst) -> int:
+        # Compaction keeps entries dense, so rank == index in age order.
+        return bisect_left(self._seqs, inst.seq)
+
+    def remove(self, inst: DynInst) -> None:
+        idx = bisect_left(self._seqs, inst.seq)
+        if idx >= len(self._seqs) or self._seqs[idx] != inst.seq:
+            raise KeyError(f"instruction #{inst.seq} not in SHIFT queue")
+        del self._entries[idx]
+        del self._seqs[idx]
+        inst.in_iq = False
+        self.occupancy -= 1
+        # Every younger entry shifts down one slot to close the hole.
+        self.stats.shift_compaction_moves += len(self._entries) - idx
+
+    def flush(self) -> None:
+        for inst in self._entries:
+            inst.in_iq = False
+        self._entries.clear()
+        self._seqs.clear()
+        super().flush()

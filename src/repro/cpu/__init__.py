@@ -1,0 +1,23 @@
+"""Out-of-order superscalar core substrate.
+
+This subpackage implements the processor around the issue queue: the trace
+format, branch prediction, register renaming, reorder buffer, load/store
+queue, function units, the front-end, and the cycle-level pipeline loop.
+"""
+
+from repro.cpu.isa import OpClass, FuClass, OP_LATENCY, OP_FU, is_memory_op
+from repro.cpu.trace import TraceInstruction, Trace
+from repro.cpu.pipeline import Pipeline
+from repro.cpu.stats import PipelineStats
+
+__all__ = [
+    "OpClass",
+    "FuClass",
+    "OP_LATENCY",
+    "OP_FU",
+    "is_memory_op",
+    "TraceInstruction",
+    "Trace",
+    "Pipeline",
+    "PipelineStats",
+]

@@ -1,0 +1,131 @@
+"""Branch prediction: gshare direction predictor plus a set-associative BTB.
+
+Matches the paper's Table 2 front end: a 12-bit-history, 4K-entry-PHT gshare
+and a 2K-set 4-way BTB with a 10-cycle misprediction penalty (the penalty is
+charged by the pipeline, not here).
+"""
+
+from __future__ import annotations
+
+from repro.config import BranchPredictorConfig
+
+
+class GsharePredictor:
+    """Global-history XOR-indexed pattern history table of 2-bit counters."""
+
+    def __init__(self, history_bits: int, pht_entries: int) -> None:
+        if pht_entries & (pht_entries - 1):
+            raise ValueError("PHT entry count must be a power of two")
+        self.history_bits = history_bits
+        self.pht_mask = pht_entries - 1
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+        # 2-bit saturating counters, initialised weakly taken.
+        self.pht = [2] * pht_entries
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) & self.pht_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        return self.pht[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter and shift the global history."""
+        idx = self._index(pc)
+        counter = self.pht[idx]
+        if taken:
+            if counter < 3:
+                self.pht[idx] = counter + 1
+        else:
+            if counter > 0:
+                self.pht[idx] = counter - 1
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with LRU replacement.
+
+    A taken-predicted branch that misses in the BTB cannot be redirected at
+    fetch and therefore behaves like a misprediction.
+    """
+
+    def __init__(self, sets: int, ways: int) -> None:
+        if sets & (sets - 1):
+            raise ValueError("BTB set count must be a power of two")
+        self.sets = sets
+        self.ways = ways
+        # Per-set ordered dict from tag -> target; insertion order is LRU order.
+        self._sets = [dict() for _ in range(sets)]
+
+    def _locate(self, pc: int):
+        index = (pc >> 2) & (self.sets - 1)
+        tag = pc >> 2
+        return self._sets[index], tag
+
+    def lookup(self, pc: int):
+        """Return the stored target for ``pc`` or ``None`` on a miss."""
+        entries, tag = self._locate(pc)
+        target = entries.get(tag)
+        if target is not None:
+            # Refresh LRU position.
+            del entries[tag]
+            entries[tag] = target
+        return target
+
+    def insert(self, pc: int, target: int) -> None:
+        entries, tag = self._locate(pc)
+        if tag in entries:
+            del entries[tag]
+        elif len(entries) >= self.ways:
+            # Evict the least recently used entry (first inserted).
+            oldest = next(iter(entries))
+            del entries[oldest]
+        entries[tag] = target
+
+
+class BranchUnit:
+    """Front-end branch predictor: gshare + BTB with speculative update.
+
+    :meth:`predict` is called at fetch and returns whether the prediction
+    matches the trace's true outcome; the pipeline uses a mismatch to model
+    a misprediction stall.  Direction history is updated speculatively with
+    the predicted outcome and repaired on a misprediction (we approximate the
+    repair by updating with the true outcome at resolve time).
+    """
+
+    def __init__(self, config: BranchPredictorConfig) -> None:
+        self.config = config
+        self.gshare = GsharePredictor(config.history_bits, config.pht_entries)
+        self.btb = BranchTargetBuffer(config.btb_sets, config.btb_ways)
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict(self, pc: int, taken: bool, target: int) -> bool:
+        """Predict the branch at fetch; return True when prediction is correct.
+
+        ``taken``/``target`` are the trace's true outcome, used both to
+        determine correctness and to train the predictor at resolve time
+        (the trace-driven model resolves immediately for training purposes;
+        the *timing* of the penalty is handled by the pipeline).
+        """
+        self.lookups += 1
+        predicted_taken = self.gshare.predict(pc)
+        correct = predicted_taken == taken
+        if predicted_taken and taken:
+            # Direction correct; the BTB must also provide the right target.
+            stored = self.btb.lookup(pc)
+            if stored != target:
+                correct = False
+        self.gshare.update(pc, taken)
+        if taken:
+            self.btb.insert(pc, target)
+        if not correct:
+            self.mispredicts += 1
+        return correct
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.mispredicts / self.lookups

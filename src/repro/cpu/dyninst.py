@@ -1,0 +1,104 @@
+"""Dynamic (in-flight) instruction state.
+
+A :class:`DynInst` wraps one :class:`~repro.cpu.trace.TraceInstruction` with
+the pipeline bookkeeping the out-of-order engine needs: dependence tracking,
+issue/completion state, and the issue-queue placement fields used by the IQ
+policies in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.isa import OP_FU, OP_LATENCY, FuClass, OpClass
+from repro.cpu.trace import TraceInstruction
+
+
+class DynInst:
+    """One in-flight instruction."""
+
+    __slots__ = (
+        "trace",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "pending_sources",
+        "consumers",
+        "issued",
+        "completed",
+        "squashed",
+        "mispredicted",
+        "iq_slot",
+        "iq_vpos",
+        "reverse_flag",
+        "iq_bucket",
+        "in_iq",
+        "lsq_index",
+        "forwarded",
+        "prev_writer",
+        "wrong_path",
+        "needs_fp_reg",
+        "needs_int_reg",
+    )
+
+    def __init__(self, trace_inst: TraceInstruction, dispatch_cycle: int) -> None:
+        self.trace = trace_inst
+        self.dispatch_cycle = dispatch_cycle
+        self.issue_cycle: Optional[int] = None
+        self.complete_cycle: Optional[int] = None
+        #: Number of unresolved source operands (set during rename).
+        self.pending_sources = 0
+        #: Instructions waiting on this one's result.
+        self.consumers: List["DynInst"] = []
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+        self.mispredicted = False
+        # Issue-queue placement (maintained by the IQ policy that holds us).
+        self.iq_slot = -1          # physical slot / position
+        self.iq_vpos = -1          # virtual (monotonic) position, CIRC family
+        self.reverse_flag = False  # dispatched past the wrap-around point
+        self.iq_bucket = -1        # multi-age-matrix bucket
+        self.in_iq = False
+        self.lsq_index = -1
+        #: Load will receive its data by store-to-load forwarding.
+        self.forwarded = False
+        #: Rename-map entry this instruction displaced (squash recovery).
+        self.prev_writer: Optional["DynInst"] = None
+        #: Fetched down a mispredicted path (will be squashed at resolve).
+        self.wrong_path = False
+        dest = trace_inst.dest
+        self.needs_fp_reg = dest is not None and dest >= 32
+        self.needs_int_reg = dest is not None and dest < 32
+
+    # -- convenience passthroughs -------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        return self.trace.seq
+
+    @property
+    def op(self) -> OpClass:
+        return self.trace.op
+
+    @property
+    def fu_class(self) -> FuClass:
+        return OP_FU[self.trace.op]
+
+    @property
+    def base_latency(self) -> int:
+        return OP_LATENCY[self.trace.op]
+
+    @property
+    def ready(self) -> bool:
+        """All source operands resolved (eligible for wakeup)."""
+        return self.pending_sources == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "done" if self.completed
+            else "issued" if self.issued
+            else "ready" if self.ready
+            else f"waiting({self.pending_sources})"
+        )
+        return f"<DynInst #{self.seq} {self.op.value} {state}>"

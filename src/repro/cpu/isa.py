@@ -1,0 +1,87 @@
+"""Micro-operation classes, execution latencies, and function-unit mapping.
+
+The simulator is timing-only: instructions carry no semantics, only an
+operation class that determines which function unit executes them and for
+how long.  The latency table follows common superscalar models (and the
+Alpha-like latencies SimpleScalar uses).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+
+@unique
+class OpClass(Enum):
+    """Operation class of a micro-op."""
+
+    IALU = "ialu"        # integer add/sub/logic/shift/compare
+    IMUL = "imul"        # integer multiply
+    IDIV = "idiv"        # integer divide (non-pipelined)
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"    # conditional branch (executes on an iALU)
+    FPADD = "fpadd"      # FP add/sub/convert
+    FPMUL = "fpmul"      # FP multiply
+    FPDIV = "fpdiv"      # FP divide (non-pipelined)
+    NOP = "nop"
+
+
+@unique
+class FuClass(Enum):
+    """Function-unit class; counts per class come from the processor config."""
+
+    IALU = "ialu"
+    IMULT = "imult"
+    LDST = "ldst"
+    FPU = "fpu"
+
+
+#: Execution latency in cycles for each op class.  Load latency here is the
+#: address-generation + pipeline overhead; the cache access time is added by
+#: the memory hierarchy at execute time.
+OP_LATENCY = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 12,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.FPADD: 3,
+    OpClass.FPMUL: 4,
+    OpClass.FPDIV: 12,
+    OpClass.NOP: 1,
+}
+
+#: Function-unit class executing each op class.
+OP_FU = {
+    OpClass.IALU: FuClass.IALU,
+    OpClass.IMUL: FuClass.IMULT,
+    OpClass.IDIV: FuClass.IMULT,
+    OpClass.LOAD: FuClass.LDST,
+    OpClass.STORE: FuClass.LDST,
+    OpClass.BRANCH: FuClass.IALU,
+    OpClass.FPADD: FuClass.FPU,
+    OpClass.FPMUL: FuClass.FPU,
+    OpClass.FPDIV: FuClass.FPU,
+    OpClass.NOP: FuClass.IALU,
+}
+
+#: Op classes whose function unit is busy for the full latency (not pipelined).
+UNPIPELINED = frozenset({OpClass.IDIV, OpClass.FPDIV})
+
+#: Op classes writing a floating-point destination register.
+FP_OPS = frozenset({OpClass.FPADD, OpClass.FPMUL, OpClass.FPDIV})
+
+#: Op classes that access data memory.
+MEMORY_OPS = frozenset({OpClass.LOAD, OpClass.STORE})
+
+
+def is_memory_op(op: OpClass) -> bool:
+    """True when ``op`` accesses data memory."""
+    return op in MEMORY_OPS
+
+
+def is_fp_op(op: OpClass) -> bool:
+    """True when ``op`` produces a floating-point result."""
+    return op in FP_OPS

@@ -1,0 +1,83 @@
+"""Load/store queue: capacity constraint and store-to-load forwarding.
+
+Memory instructions occupy an LSQ entry from dispatch to commit.  At
+dispatch time a load is checked against the youngest older in-flight store
+to the same address; on a match the load is marked *forwarded* and made
+dependent on the store, so it receives its data from the LSQ instead of
+the cache (oracle memory disambiguation -- addresses are known from the
+trace, matching the idealized scheduler most IQ studies assume).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.dyninst import DynInst
+
+
+class LoadStoreQueue:
+    """Unified LSQ with exact-address store-to-load forwarding."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("LSQ capacity must be positive")
+        self.capacity = capacity
+        self._count = 0
+        #: address -> youngest in-flight store to that address.
+        self._last_store: Dict[int, DynInst] = {}
+        self.forwards = 0
+
+    @property
+    def is_full(self) -> bool:
+        return self._count >= self.capacity
+
+    def insert(self, inst: DynInst) -> None:
+        """Allocate an entry; wires forwarding for loads, indexing for stores."""
+        if self.is_full:
+            raise RuntimeError("dispatch into a full LSQ")
+        self._count += 1
+        inst.lsq_index = self._count  # occupancy marker (not a position)
+        addr = inst.trace.mem_addr
+        if inst.trace.is_store:
+            self._last_store[addr] = inst
+            return
+        store = self._last_store.get(addr)
+        if store is None or store.squashed:
+            return
+        # Forward: the load's data comes from the store, not the cache.
+        inst.forwarded = True
+        self.forwards += 1
+        if not store.completed:
+            inst.pending_sources += 1
+            store.consumers.append(inst)
+
+    def release(self, inst: DynInst) -> None:
+        """Free the entry at commit."""
+        if inst.lsq_index < 0:
+            raise RuntimeError("releasing an instruction without an LSQ entry")
+        self._count -= 1
+        inst.lsq_index = -1
+        if inst.trace.is_store:
+            addr = inst.trace.mem_addr
+            if self._last_store.get(addr) is inst:
+                del self._last_store[addr]
+
+    def squash(self, inst: DynInst) -> None:
+        """Release a squashed in-flight memory instruction's entry."""
+        if inst.lsq_index < 0:
+            return
+        self._count -= 1
+        inst.lsq_index = -1
+        if inst.trace.is_store:
+            addr = inst.trace.mem_addr
+            if self._last_store.get(addr) is inst:
+                # The displaced older store (if any) is unrecoverable here;
+                # dropping the mapping only costs a missed forward.
+                del self._last_store[addr]
+
+    def flush(self) -> None:
+        self._count = 0
+        self._last_store.clear()
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,235 @@
+"""The cycle-level out-of-order pipeline loop.
+
+Each simulated cycle processes, in order:
+
+1. **complete** -- instructions finishing execution wake their consumers
+   (tag broadcast); a resolving mispredicted branch restarts fetch.
+2. **commit** -- up to ``width`` completed instructions retire in order
+   from the ROB head; the IQ's commit hook drives SWQUE's interval logic.
+3. **issue** -- the IQ's wakeup-select picks ready instructions in policy
+   priority order under function-unit constraints; loads/stores probe the
+   memory hierarchy for their completion time.
+4. **dispatch** -- rename up to ``width`` fetched instructions into
+   ROB/IQ/LSQ, stopping at the first structural hazard.
+5. **flush check** -- a queue-requested flush (SWQUE mode switch) squashes
+   the window, mispredict-style.
+
+Completing before issuing lets a 1-cycle producer's consumer issue the very
+next cycle (back-to-back wakeup); dispatching after issuing enforces the
+one-cycle minimum IQ residency of real wakeup-select loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import ProcessorConfig
+from repro.core.base import IssueQueue
+from repro.cpu.branch import BranchUnit
+from repro.cpu.dyninst import DynInst
+from repro.cpu.frontend import FetchUnit
+from repro.cpu.fu import FunctionUnitPool
+from repro.cpu.isa import OP_LATENCY, OpClass
+from repro.cpu.lsq import LoadStoreQueue
+from repro.cpu.rename import RenameUnit
+from repro.cpu.rob import ReorderBuffer
+from repro.cpu.stats import PipelineStats
+from repro.cpu.trace import Trace
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class SimulationDiverged(RuntimeError):
+    """The pipeline stopped making progress (an internal-model bug)."""
+
+
+class Pipeline:
+    """One core: trace in, :class:`~repro.cpu.stats.PipelineStats` out."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: ProcessorConfig,
+        iq: IssueQueue,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        stats: Optional[PipelineStats] = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.iq = iq
+        self.stats = stats if stats is not None else iq.stats
+        if self.stats is not iq.stats:
+            raise ValueError("pipeline and issue queue must share one stats object")
+        self.hierarchy = hierarchy or MemoryHierarchy(config, self.stats)
+        self.branch_unit = BranchUnit(config.branch)
+        self.frontend = FetchUnit(trace, config, self.branch_unit, self.hierarchy, self.stats)
+        self.rename = RenameUnit(config.int_regs, config.fp_regs)
+        self.rob = ReorderBuffer(config.rob_entries)
+        self.lsq = LoadStoreQueue(config.lsq_entries)
+        self.fu_pool = FunctionUnitPool(config)
+        #: completion cycle -> instructions finishing then.
+        self._events: Dict[int, List[DynInst]] = {}
+        self.cycle = 0
+
+    # -- top level ----------------------------------------------------------------
+
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        warmup_instructions: int = 0,
+    ) -> PipelineStats:
+        """Simulate until the whole trace commits; returns the stats.
+
+        ``warmup_instructions`` commits that many instructions first and
+        then resets the counters, so the reported stats describe warm-cache,
+        warm-predictor steady state (the paper skips 16B instructions for
+        the same reason).
+        """
+        limit = max_cycles if max_cycles is not None else 120 * len(self.trace) + 50_000
+        warm_pending = 0 < warmup_instructions < len(self.trace)
+        while self.rob or self.frontend.has_more():
+            if self.cycle > limit:
+                raise SimulationDiverged(
+                    f"no convergence after {self.cycle} cycles "
+                    f"(committed {self.stats.committed}/{len(self.trace)})"
+                )
+            self.step()
+            if warm_pending and self.stats.committed >= warmup_instructions:
+                self.stats.reset()
+                warm_pending = False
+        return self.stats
+
+    def step(self) -> None:
+        """Advance the pipeline by one cycle."""
+        cycle = self.cycle
+        self.fu_pool.new_cycle(cycle)
+        self._complete(cycle)
+        self._commit(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+        self.iq.tick(cycle)
+        if self.iq.wants_flush:
+            self._flush(self.iq.flush_penalty)
+        self.cycle += 1
+        self.stats.cycles += 1
+
+    # -- stages ---------------------------------------------------------------------
+
+    def _complete(self, cycle: int) -> None:
+        for inst in self._events.pop(cycle, ()):
+            if inst.squashed:
+                continue
+            inst.completed = True
+            inst.complete_cycle = cycle
+            for consumer in inst.consumers:
+                if consumer.squashed:
+                    continue
+                consumer.pending_sources -= 1
+                if consumer.pending_sources == 0 and consumer.in_iq:
+                    self.iq.wakeup(consumer)
+            self.frontend.on_complete(inst, cycle)
+        resolved = self.frontend.take_resolved()
+        if resolved is not None:
+            self._squash_younger(resolved)
+
+    def _commit(self, cycle: int) -> None:
+        committed = 0
+        while committed < self.config.width:
+            head = self.rob.head()
+            if head is None or not head.completed:
+                break
+            self.rob.commit_head()
+            if head.trace.mem_addr is not None:
+                self.lsq.release(head)
+            self.rename.release(head)
+            committed += 1
+        self.stats.committed += committed
+        self.iq.note_commit(committed, self.stats.llc_misses)
+
+    def _issue(self, cycle: int) -> None:
+        issued = self.iq.select(self.fu_pool, cycle)
+        for inst in issued:
+            inst.issued = True
+            inst.issue_cycle = cycle
+            latency = self._execution_latency(inst, cycle)
+            self._events.setdefault(cycle + latency, []).append(inst)
+        self.stats.issued += len(issued)
+        # Each issued instruction eventually broadcasts its destination tag.
+        self.stats.iq_wakeup_broadcasts += len(issued)
+
+    def _execution_latency(self, inst: DynInst, cycle: int) -> int:
+        op = inst.op
+        if op is OpClass.LOAD:
+            self.stats.loads += 1
+            if inst.forwarded:
+                self.stats.store_forwards += 1
+                return 2  # address generation + LSQ forward
+            # Address generation this cycle, cache access next.
+            return 1 + self.hierarchy.access_data(inst.trace.mem_addr, cycle + 1)
+        if op is OpClass.STORE:
+            self.stats.stores += 1
+            # The write itself drains through a write buffer and never
+            # blocks the pipeline, but it does generate cache/DRAM traffic.
+            self.hierarchy.access_data(inst.trace.mem_addr, cycle + 1, is_store=True)
+            return 1
+        return OP_LATENCY[op]
+
+    def _dispatch(self, cycle: int) -> None:
+        dispatched = 0
+        while dispatched < self.config.width:
+            trace_inst = self.frontend.peek(cycle)
+            if trace_inst is None:
+                if dispatched == 0 and self.frontend.stalled(cycle):
+                    self.stats.fetch_stall_cycles += 1
+                break
+            if self.rob.is_full:
+                self.stats.dispatch_stall_rob += 1
+                break
+            if not self.iq.can_dispatch():
+                self.stats.dispatch_stall_iq += 1
+                break
+            is_mem = trace_inst.mem_addr is not None
+            if is_mem and self.lsq.is_full:
+                self.stats.dispatch_stall_lsq += 1
+                break
+            inst = DynInst(trace_inst, cycle)
+            if not self.rename.can_rename(inst):
+                self.stats.dispatch_stall_regs += 1
+                break
+            self.rename.rename(inst)
+            self.rob.push(inst)
+            if is_mem:
+                self.lsq.insert(inst)
+            self.iq.dispatch(inst)
+            self.stats.iq_dispatch_writes += 1
+            if inst.pending_sources == 0:
+                self.iq.wakeup(inst)
+            dispatched += 1
+            self.stats.dispatched += 1
+            if not self.frontend.advance(cycle, inst):
+                break
+
+    # -- recovery ------------------------------------------------------------------
+
+    def _squash_younger(self, branch: DynInst) -> None:
+        """Mispredict recovery: squash everything younger than ``branch``."""
+        squashed = self.rob.squash_younger(branch.seq)
+        for inst in squashed:  # youngest first, as rename unwind requires
+            self.rename.unwind(inst)
+            if inst.trace.mem_addr is not None:
+                self.lsq.squash(inst)
+            self.iq.evict(inst)
+        self.stats.squashed_instructions += len(squashed)
+
+    # -- flush (SWQUE mode switch) -----------------------------------------------------
+
+    def _flush(self, penalty: int) -> None:
+        squashed = self.rob.flush()
+        for inst in squashed:
+            self.rename.release(inst)
+        self.lsq.flush()
+        self.rename.flush()
+        self.fu_pool.flush()
+        self.iq.flush()
+        oldest = squashed[0].seq if squashed else self.frontend.fetch_seq
+        self.frontend.rewind(oldest, self.cycle + penalty)
+        self.stats.flush_cycles += penalty

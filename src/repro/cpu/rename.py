@@ -1,0 +1,88 @@
+"""Register renaming: dependence edges and physical-register accounting.
+
+The rename map tracks, per architectural register, the most recent in-flight
+producer.  Renaming an instruction registers it as a consumer on each
+still-incomplete producer (building the dataflow edges the wakeup logic
+follows) and allocates one physical register for its destination.
+
+Physical registers are modelled as free *counts* (int and FP pools): one is
+consumed per renamed destination and one is returned per commit or squash.
+The committed architectural state permanently occupies one register per
+architectural register, so the initially free pool is ``phys - arch``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cpu.dyninst import DynInst
+from repro.cpu.trace import NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS
+
+
+class RenameUnit:
+    """Rename map plus physical-register free-list accounting."""
+
+    def __init__(self, int_regs: int, fp_regs: int) -> None:
+        if int_regs < NUM_INT_ARCH_REGS or fp_regs < NUM_FP_ARCH_REGS:
+            raise ValueError("physical registers must cover architectural state")
+        self.free_int = int_regs - NUM_INT_ARCH_REGS
+        self.free_fp = fp_regs - NUM_FP_ARCH_REGS
+        #: Architectural register -> most recent in-flight producer.
+        self._map: Dict[int, DynInst] = {}
+
+    def can_rename(self, inst: DynInst) -> bool:
+        """True when a physical destination register is available."""
+        if inst.needs_int_reg:
+            return self.free_int > 0
+        if inst.needs_fp_reg:
+            return self.free_fp > 0
+        return True
+
+    def rename(self, inst: DynInst) -> None:
+        """Resolve sources against the map and claim a destination register."""
+        for src in inst.trace.srcs:
+            producer = self._map.get(src)
+            if producer is not None and not producer.completed and not producer.squashed:
+                inst.pending_sources += 1
+                producer.consumers.append(inst)
+        dest = inst.trace.dest
+        if dest is None:
+            return
+        if inst.needs_int_reg:
+            if self.free_int <= 0:
+                raise RuntimeError("renamed without a free int register")
+            self.free_int -= 1
+        else:
+            if self.free_fp <= 0:
+                raise RuntimeError("renamed without a free FP register")
+            self.free_fp -= 1
+        inst.prev_writer = self._map.get(dest)
+        self._map[dest] = inst
+
+    def unwind(self, inst: DynInst) -> None:
+        """Undo ``inst``'s rename (squash of the *youngest* instructions).
+
+        Must be called youngest-first so the displaced map entries restore
+        in reverse rename order.  Returns the physical register too.
+        """
+        dest = inst.trace.dest
+        if dest is not None and self._map.get(dest) is inst:
+            if inst.prev_writer is not None and not inst.prev_writer.squashed:
+                self._map[dest] = inst.prev_writer
+            else:
+                self._map.pop(dest, None)
+        self.release(inst)
+
+    def release(self, inst: DynInst) -> None:
+        """Return ``inst``'s physical register to the pool (commit/squash)."""
+        if inst.needs_int_reg:
+            self.free_int += 1
+        elif inst.needs_fp_reg:
+            self.free_fp += 1
+
+    def producer_of(self, arch_reg: int) -> Optional[DynInst]:
+        return self._map.get(arch_reg)
+
+    def flush(self) -> None:
+        """Squash recovery: all architectural values come from committed state."""
+        self._map.clear()

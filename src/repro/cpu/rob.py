@@ -1,0 +1,69 @@
+"""Reorder buffer: the in-order commit window."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.cpu.dyninst import DynInst
+
+
+class ReorderBuffer:
+    """Bounded FIFO of in-flight instructions, committed in program order."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("ROB capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[DynInst] = deque()
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def push(self, inst: DynInst) -> None:
+        if self.is_full:
+            raise RuntimeError("dispatch into a full ROB")
+        if self._entries and inst.seq <= self._entries[-1].seq:
+            raise ValueError("ROB entries must arrive in program order")
+        self._entries.append(inst)
+
+    def head(self) -> Optional[DynInst]:
+        return self._entries[0] if self._entries else None
+
+    def commit_head(self) -> DynInst:
+        """Pop the head entry; caller checked it is completed."""
+        inst = self._entries.popleft()
+        if not inst.completed:
+            raise RuntimeError("committing an incomplete instruction")
+        return inst
+
+    def squash_younger(self, seq: int) -> List[DynInst]:
+        """Squash every entry younger than ``seq`` (mispredict recovery).
+
+        Returns the squashed instructions youngest first, which is the
+        order rename-map recovery requires.
+        """
+        squashed: List[DynInst] = []
+        while self._entries and self._entries[-1].seq > seq:
+            inst = self._entries.pop()
+            inst.squashed = True
+            squashed.append(inst)
+        return squashed
+
+    def flush(self) -> List[DynInst]:
+        """Squash everything; returns the squashed instructions oldest first."""
+        squashed = list(self._entries)
+        for inst in squashed:
+            inst.squashed = True
+        self._entries.clear()
+        return squashed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)

@@ -1,0 +1,116 @@
+"""Pipeline activity counters.
+
+Everything the experiments need is counted here: committed instructions and
+cycles (IPC), branch behaviour, memory-hierarchy events, and the issue-queue
+activity counts that feed the energy model (:mod:`repro.power.energy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PipelineStats:
+    """Counters accumulated over one simulation run."""
+
+    cycles: int = 0
+    committed: int = 0
+    dispatched: int = 0
+    issued: int = 0
+
+    # Front end.
+    fetch_stall_cycles: int = 0
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    icache_misses: int = 0
+    wrong_path_dispatched: int = 0
+    squashed_instructions: int = 0
+
+    # Back-pressure: which resource blocked dispatch (cycle granularity).
+    dispatch_stall_iq: int = 0
+    dispatch_stall_rob: int = 0
+    dispatch_stall_lsq: int = 0
+    dispatch_stall_regs: int = 0
+
+    # Memory hierarchy.
+    loads: int = 0
+    stores: int = 0
+    l1d_misses: int = 0
+    llc_misses: int = 0
+    store_forwards: int = 0
+
+    # Issue-queue activity (energy-model inputs).
+    iq_dispatch_writes: int = 0     # payload/tag RAM writes at dispatch
+    iq_wakeup_broadcasts: int = 0   # destination-tag broadcasts into the CAM
+    iq_tag_ram_reads: int = 0       # tag RAM read operations (per grant group)
+    iq_tag_ram_rv_reads: int = 0    # extra time-sliced reads for RV grants
+    iq_select_ops: int = 0          # select-logic evaluations (cycles active)
+    iq_select_rv_ops: int = 0       # extra S_RV evaluations (SWQUE-specific)
+    iq_payload_reads: int = 0       # issued instructions read from payload RAM
+    iq_occupancy_sum: int = 0       # summed per cycle -> mean occupancy
+    shift_compaction_moves: int = 0 # SHIFT entry movements (power story)
+
+    # SWQUE mode behaviour.
+    mode_switches: int = 0
+    cycles_in_circ_pc: int = 0
+    cycles_in_age: int = 0
+    flush_cycles: int = 0
+
+    # Issue priority-rank tracking (FLPI measurement and analysis).
+    low_region_issues: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.committed / self.cycles
+
+    @property
+    def mpki(self) -> float:
+        """Last-level-cache misses per kilo-instruction."""
+        if not self.committed:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.committed
+
+    @property
+    def branch_mpki(self) -> float:
+        if not self.committed:
+            return 0.0
+        return 1000.0 * self.branch_mispredicts / self.committed
+
+    @property
+    def mean_iq_occupancy(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.iq_occupancy_sum / self.cycles
+
+    def reset(self) -> None:
+        """Zero every counter in place (end-of-warmup measurement reset).
+
+        In-place so the pipeline, issue queue, and memory hierarchy keep
+        sharing the same object; microarchitectural state (caches,
+        predictors, queue contents) is deliberately left warm.
+        """
+        for name, field_def in self.__dataclass_fields__.items():
+            if name == "extra":
+                self.extra = {}
+            else:
+                setattr(self, name, 0)
+
+    def as_dict(self) -> dict:
+        """Flat dict of all counters and derived rates (for result tables)."""
+        data = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "extra"
+        }
+        data.update(self.extra)
+        data["ipc"] = self.ipc
+        data["mpki"] = self.mpki
+        data["branch_mpki"] = self.branch_mpki
+        data["mean_iq_occupancy"] = self.mean_iq_occupancy
+        return data

@@ -1,0 +1,131 @@
+"""Instruction-trace representation.
+
+The simulator is trace driven: a :class:`Trace` is a deterministic sequence
+of :class:`TraceInstruction` records produced by the workload generator
+(:mod:`repro.workloads.generator`).  Branches carry their *true* outcome;
+the pipeline front-end runs a real branch predictor against them.
+
+Architectural register namespace: integer registers are ``0 .. 31``, FP
+registers are ``32 .. 63``.  Destination ``None`` means the op produces no
+register result (stores, branches).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.cpu.isa import OpClass
+
+#: Number of architectural integer registers (FP registers follow them).
+NUM_INT_ARCH_REGS = 32
+NUM_FP_ARCH_REGS = 32
+NUM_ARCH_REGS = NUM_INT_ARCH_REGS + NUM_FP_ARCH_REGS
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True when the architectural register index names an FP register."""
+    return reg >= NUM_INT_ARCH_REGS
+
+
+class TraceInstruction:
+    """One dynamic instruction in a trace.
+
+    Attributes
+    ----------
+    seq:
+        Position in the dynamic instruction stream (0-based).
+    op:
+        :class:`~repro.cpu.isa.OpClass` of the instruction.
+    pc:
+        Instruction address (for the I-cache and branch predictor).
+    dest:
+        Architectural destination register, or ``None``.
+    srcs:
+        Architectural source registers (up to two).
+    mem_addr:
+        Effective address for loads/stores, else ``None``.
+    taken:
+        True branch outcome (branches only).
+    target:
+        Branch target address (branches only).
+    """
+
+    __slots__ = ("seq", "op", "pc", "dest", "srcs", "mem_addr", "taken", "target")
+
+    def __init__(
+        self,
+        seq: int,
+        op: OpClass,
+        pc: int,
+        dest: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        mem_addr: Optional[int] = None,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.seq = seq
+        self.op = op
+        self.pc = pc
+        self.dest = dest
+        self.srcs = srcs
+        self.mem_addr = mem_addr
+        self.taken = taken
+        self.target = target
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op is OpClass.BRANCH
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is OpClass.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"#{self.seq}", self.op.value, f"pc={self.pc:#x}"]
+        if self.dest is not None:
+            parts.append(f"d=r{self.dest}")
+        if self.srcs:
+            parts.append("s=" + ",".join(f"r{s}" for s in self.srcs))
+        if self.mem_addr is not None:
+            parts.append(f"a={self.mem_addr:#x}")
+        if self.is_branch:
+            parts.append("T" if self.taken else "NT")
+        return "<Inst " + " ".join(parts) + ">"
+
+
+class Trace:
+    """A finite dynamic instruction stream with random access.
+
+    Random access (rather than pure streaming) is required because branch
+    mispredict recovery and SWQUE mode-switch flushes rewind the front-end
+    to an earlier sequence number.
+    """
+
+    def __init__(self, instructions: Sequence[TraceInstruction], name: str = "") -> None:
+        self._instructions: List[TraceInstruction] = list(instructions)
+        self.name = name
+        for idx, inst in enumerate(self._instructions):
+            if inst.seq != idx:
+                raise ValueError(
+                    f"trace instruction at index {idx} has seq {inst.seq}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, seq: int) -> TraceInstruction:
+        return self._instructions[seq]
+
+    def __iter__(self) -> Iterator[TraceInstruction]:
+        return iter(self._instructions)
+
+    def mix(self) -> dict:
+        """Histogram of op classes, for workload sanity checks."""
+        counts: dict = {}
+        for inst in self._instructions:
+            counts[inst.op] = counts.get(inst.op, 0) + 1
+        return counts

@@ -1,0 +1,9 @@
+"""Memory-hierarchy substrate: caches, MSHRs, DRAM channel, prefetcher."""
+
+from repro.memory.cache import Cache
+from repro.memory.mshr import MshrFile
+from repro.memory.dram import DramChannel
+from repro.memory.prefetch import StreamPrefetcher
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "MshrFile", "DramChannel", "StreamPrefetcher", "MemoryHierarchy"]

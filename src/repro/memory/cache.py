@@ -1,0 +1,73 @@
+"""Set-associative cache with true-LRU replacement.
+
+Functional tag store only: the hierarchy computes timing separately
+(fills are installed immediately; in-flight timing lives in the MSHR
+file).  Lines are identified by line number (address >> log2(line size)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import CacheConfig
+
+
+class Cache:
+    """Functional set-associative LRU tag array."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1):
+            raise ValueError("cache set count must be a power of two")
+        self._set_mask = num_sets - 1
+        # Insertion-ordered dicts double as LRU lists (oldest first).
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_of(self, line: int) -> Dict[int, bool]:
+        return self._sets[line & self._set_mask]
+
+    def lookup(self, line: int) -> bool:
+        """Probe for ``line``; refreshes LRU state on a hit."""
+        entries = self._set_of(line)
+        if line in entries:
+            del entries[line]
+            entries[line] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Probe without touching LRU state or counters."""
+        return line in self._set_of(line)
+
+    def fill(self, line: int) -> None:
+        """Install ``line``, evicting the LRU way if the set is full."""
+        entries = self._set_of(line)
+        if line in entries:
+            del entries[line]
+        elif len(entries) >= self.config.associativity:
+            oldest = next(iter(entries))
+            del entries[oldest]
+            self.evictions += 1
+        entries[line] = True
+
+    def invalidate_all(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        if not total:
+            return 0.0
+        return self.misses / total
+
+    def occupancy(self) -> int:
+        """Number of valid lines (for tests and warm-up checks)."""
+        return sum(len(entries) for entries in self._sets)

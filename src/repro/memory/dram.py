@@ -1,0 +1,41 @@
+"""Main-memory channel: fixed latency plus bandwidth-limited transfers.
+
+Table 2: 300-cycle minimum latency, 8 bytes/cycle bandwidth.  Requests
+pipeline through the channel -- each line transfer occupies the channel for
+``line_bytes / bytes_per_cycle`` cycles, and the requester sees the fixed
+access latency measured from when its transfer slot starts.  Queueing
+delay under bandwidth saturation therefore adds to the minimum latency,
+which is what throttles prefetch-heavy streaming phases.
+"""
+
+from __future__ import annotations
+
+
+class DramChannel:
+    """Single memory channel with serialized line transfers."""
+
+    def __init__(self, latency: int, bytes_per_cycle: int, line_bytes: int = 64) -> None:
+        if latency < 1 or bytes_per_cycle < 1:
+            raise ValueError("latency and bandwidth must be positive")
+        self.latency = latency
+        self.transfer_cycles = max(1, line_bytes // bytes_per_cycle)
+        self._channel_free = 0
+        self.requests = 0
+        self.busy_cycles = 0
+
+    def request(self, cycle: int) -> int:
+        """Issue a line fetch at ``cycle``; returns the completion cycle."""
+        start = max(cycle, self._channel_free)
+        self._channel_free = start + self.transfer_cycles
+        self.requests += 1
+        self.busy_cycles += self.transfer_cycles
+        return start + self.latency
+
+    def queue_delay(self, cycle: int) -> int:
+        """Cycles a request issued now would wait for the channel."""
+        return max(0, self._channel_free - cycle)
+
+    def utilization(self, cycles: int) -> float:
+        if not cycles:
+            return 0.0
+        return min(1.0, self.busy_cycles / cycles)

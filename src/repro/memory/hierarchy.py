@@ -1,0 +1,126 @@
+"""The full memory hierarchy: L1I / L1D / L2 / DRAM plus stream prefetch.
+
+Timing contract: :meth:`MemoryHierarchy.access_data` and
+:meth:`MemoryHierarchy.access_instruction` return the *latency in cycles*
+until the requested data is available, given an access starting at
+``cycle``.  Tag state is updated functionally at access time; in-flight
+fill timing lives in the L1 MSHR file and the L2 in-flight map, which is
+how overlapping misses (MLP) and prefetch timeliness are modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import ProcessorConfig
+from repro.cpu.stats import PipelineStats
+from repro.memory.cache import Cache
+from repro.memory.dram import DramChannel
+from repro.memory.mshr import MshrFile
+from repro.memory.prefetch import StreamPrefetcher
+
+_LINE_SHIFT = 6  # 64-byte lines throughout (Table 2)
+
+
+class MemoryHierarchy:
+    """Two-level cache hierarchy over a bandwidth-limited DRAM channel."""
+
+    def __init__(self, config: ProcessorConfig, stats: Optional[PipelineStats] = None) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else PipelineStats()
+        self.l1i = Cache(config.l1i, "l1i")
+        self.l1d = Cache(config.l1d, "l1d")
+        self.l2 = Cache(config.l2, "l2")
+        self.l1d_mshr = MshrFile(config.l1d.mshrs)
+        self.dram = DramChannel(config.memory_latency, config.memory_bytes_per_cycle)
+        #: line -> completion cycle of an in-flight L2 fill (demand or prefetch).
+        self._l2_inflight: Dict[int, int] = {}
+        self.prefetches = 0
+        self.prefetcher: Optional[StreamPrefetcher] = None
+        if config.prefetch.enabled:
+            self.prefetcher = StreamPrefetcher(
+                config.prefetch.streams,
+                config.prefetch.distance,
+                config.prefetch.degree,
+                issue_fill=self._prefetch_fill,
+            )
+
+    # -- public access points ---------------------------------------------------------
+
+    def access_data(self, addr: int, cycle: int, is_store: bool = False) -> int:
+        """Latency until the data at ``addr`` is available (>= L1 hit time)."""
+        line = addr >> _LINE_SHIFT
+        hit_latency = self.config.l1d.hit_latency
+        # Merge with an in-flight fill first: the tag array already holds
+        # the line (fills are installed functionally at allocate time), but
+        # its data has not arrived until the MSHR completion time.
+        pending = self.l1d_mshr.lookup(line, cycle)
+        if pending is not None:
+            self.stats.l1d_misses += 1
+            return max(pending - cycle, hit_latency)
+        if self.l1d.lookup(line):
+            return hit_latency
+        self.stats.l1d_misses += 1
+        # Allocate an MSHR (waiting for one if the file is full) and fetch
+        # the line from L2/DRAM; the L1 probe happens before the L2 access.
+        start = max(self.l1d_mshr.earliest_free(cycle), cycle + hit_latency)
+        fill = self._l2_access(line, start)
+        fill = max(fill, cycle + hit_latency)
+        if self.prefetcher is not None:
+            self.prefetcher.observe(line, cycle)
+        self.l1d.fill(line)
+        self.l1d_mshr.allocate(line, fill, start)
+        return fill - cycle
+
+    def access_instruction(self, pc: int, cycle: int) -> int:
+        """Latency until the fetch group at ``pc`` is available."""
+        line = pc >> _LINE_SHIFT
+        if self.l1i.lookup(line):
+            return self.config.l1i.hit_latency
+        self.stats.icache_misses += 1
+        fill = self._l2_access(line, cycle)
+        self.l1i.fill(line)
+        return max(fill - cycle, self.config.l1i.hit_latency)
+
+    # -- L2 / DRAM ----------------------------------------------------------------------
+
+    def _l2_access(self, line: int, cycle: int) -> int:
+        """Completion cycle for ``line`` arriving from the L2 (or below)."""
+        probe_done = cycle + self.config.l2.hit_latency
+        inflight = self._l2_inflight.get(line)
+        if inflight is not None and inflight > cycle:
+            # The line is already on its way (earlier miss or prefetch).
+            return max(probe_done, inflight)
+        if self.l2.lookup(line):
+            return probe_done
+        self.stats.llc_misses += 1
+        done = self.dram.request(probe_done)
+        self.l2.fill(line)
+        self._track_inflight(line, done)
+        return done
+
+    def _prefetch_fill(self, line: int, cycle: int) -> None:
+        """Prefetch ``line`` into L2 (Table 2: prefetch to L2 cache)."""
+        if line < 0:
+            return
+        inflight = self._l2_inflight.get(line)
+        if (inflight is not None and inflight > cycle) or self.l2.contains(line):
+            return
+        done = self.dram.request(cycle)
+        self.l2.fill(line)
+        self._track_inflight(line, done)
+        self.prefetches += 1
+
+    def _track_inflight(self, line: int, done: int) -> None:
+        self._l2_inflight[line] = done
+        if len(self._l2_inflight) > 8192:
+            horizon = done - self.config.memory_latency
+            self._l2_inflight = {
+                l: t for l, t in self._l2_inflight.items() if t > horizon
+            }
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def llc_misses(self) -> int:
+        return self.stats.llc_misses

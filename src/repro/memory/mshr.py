@@ -1,0 +1,61 @@
+"""Miss-status holding registers: non-blocking-cache miss tracking.
+
+An MSHR file records, per in-flight line, when its fill completes.  A new
+access to an in-flight line *merges* (returns the existing completion
+time) instead of issuing a second request; when all registers are busy,
+the next miss must wait for the earliest completion.  This is the
+mechanism that turns window capacity into memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MshrFile:
+    """Bounded map from line number to fill-completion cycle."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._inflight: Dict[int, int] = {}
+        self.merges = 0
+        self.full_stalls = 0
+
+    def _prune(self, cycle: int) -> None:
+        if len(self._inflight) > self.capacity:
+            raise AssertionError("MSHR file over capacity")
+        done = [line for line, t in self._inflight.items() if t <= cycle]
+        for line in done:
+            del self._inflight[line]
+
+    def lookup(self, line: int, cycle: int) -> Optional[int]:
+        """Completion cycle of an in-flight fill for ``line``, if any."""
+        done = self._inflight.get(line)
+        if done is not None and done > cycle:
+            self.merges += 1
+            return done
+        return None
+
+    def earliest_free(self, cycle: int) -> int:
+        """First cycle at which a register is (or becomes) available."""
+        self._prune(cycle)
+        if len(self._inflight) < self.capacity:
+            return cycle
+        self.full_stalls += 1
+        return min(self._inflight.values())
+
+    def allocate(self, line: int, completion: int, cycle: int) -> None:
+        """Track a new in-flight fill (caller waited for a free register)."""
+        self._prune(cycle)
+        if len(self._inflight) >= self.capacity:
+            raise RuntimeError("allocating into a full MSHR file")
+        self._inflight[line] = completion
+
+    def outstanding(self, cycle: int) -> int:
+        self._prune(cycle)
+        return len(self._inflight)
+
+    def clear(self) -> None:
+        self._inflight.clear()

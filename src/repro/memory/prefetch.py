@@ -1,0 +1,82 @@
+"""Stream-based data prefetcher (Table 2).
+
+Tracks up to 32 ascending/descending unit-stride line streams observed in
+the L1-miss stream and, once a stream is confirmed, prefetches ``degree``
+lines at ``distance`` lines ahead into the L2 cache.  The hierarchy
+supplies a callback that performs the actual L2 fill (charging DRAM
+bandwidth), so prefetch timeliness and bandwidth contention are modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class _Stream:
+    __slots__ = ("last_line", "direction", "confidence", "last_used")
+
+    def __init__(self, line: int, cycle: int) -> None:
+        self.last_line = line
+        self.direction = 0       # +1 / -1 once established
+        self.confidence = 0
+        self.last_used = cycle
+
+
+class StreamPrefetcher:
+    """Unit-stride stream detector with distance/degree prefetch issue."""
+
+    #: Consecutive same-direction accesses before prefetching starts.
+    CONFIRM = 2
+
+    def __init__(
+        self,
+        streams: int,
+        distance: int,
+        degree: int,
+        issue_fill: Callable[[int, int], None],
+    ) -> None:
+        if streams < 1 or distance < 1 or degree < 1:
+            raise ValueError("prefetcher parameters must be positive")
+        self.max_streams = streams
+        self.distance = distance
+        self.degree = degree
+        self._issue_fill = issue_fill
+        self._streams: List[_Stream] = []
+        self.prefetches_issued = 0
+        self.streams_allocated = 0
+
+    def observe(self, line: int, cycle: int) -> None:
+        """Feed one L1-miss line address into the detector."""
+        stream = self._match(line)
+        if stream is None:
+            self._allocate(line, cycle)
+            return
+        direction = 1 if line > stream.last_line else -1
+        if stream.direction == direction:
+            stream.confidence += 1
+        else:
+            stream.direction = direction
+            stream.confidence = 1
+        stream.last_line = line
+        stream.last_used = cycle
+        if stream.confidence >= self.CONFIRM:
+            base = line + direction * self.distance
+            for k in range(self.degree):
+                self._issue_fill(base + direction * k, cycle)
+                self.prefetches_issued += 1
+
+    def _match(self, line: int) -> Optional[_Stream]:
+        # A stream matches when the new line is the immediate neighbour of
+        # its last line (unit-stride in either direction).
+        for stream in self._streams:
+            if abs(line - stream.last_line) == 1:
+                return stream
+        return None
+
+    def _allocate(self, line: int, cycle: int) -> None:
+        if len(self._streams) >= self.max_streams:
+            # Replace the least recently used stream.
+            victim = min(self._streams, key=lambda s: s.last_used)
+            self._streams.remove(victim)
+        self._streams.append(_Stream(line, cycle))
+        self.streams_allocated += 1

@@ -1,0 +1,22 @@
+"""Analytical circuit models for the IQ: delay, energy, and area.
+
+These replace the paper's HSPICE + transistor-level design (delay), McPAT
+(energy), and MOSIS layout (area) tool chain.  Each model is calibrated to
+the relative numbers the paper reports -- Section 4.7's delay ratios,
+Figure 12's energy decomposition, Figure 13's circuit sizes, and
+Tables 5-6's densities and costs -- and then scales analytically with the
+IQ geometry, so the same experiments can be re-run on modified
+configurations.
+"""
+
+from repro.power.delay import IqDelayModel
+from repro.power.energy import IqEnergyModel, EnergyBreakdown
+from repro.power.area import IqAreaModel, TRANSISTOR_DENSITY
+
+__all__ = [
+    "IqDelayModel",
+    "IqEnergyModel",
+    "EnergyBreakdown",
+    "IqAreaModel",
+    "TRANSISTOR_DENSITY",
+]

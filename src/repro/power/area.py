@@ -1,0 +1,143 @@
+"""IQ area and transistor-density model (Figure 13, Tables 5-6 substitute).
+
+The paper drew the LSI layout by hand under MOSIS rules and compared
+transistor densities against published designs (Table 5) to argue the
+layout is reasonable; the headline outputs are the *relative* circuit
+sizes (Figure 13), the 17% IQ-area overhead of the second select logic,
+and its negligible cost at chip level (Table 6: 0.0029 mm^2 at 14nm,
+0.034% of a Skylake core, 0.010% of the chip).
+
+We encode the published densities verbatim, model each circuit's area
+analytically from the queue geometry, and calibrate the constants so the
+default 128-entry, 6-issue IQ reproduces the paper's relative sizes:
+
+    wakeup 27%, select 17%, tag RAM 8%, payload RAM 19%, age matrix 29%
+
+(the paper gives Figure 13 only graphically: the age matrix is the
+largest circuit, the tag RAM is small, and the added select logic is 17%
+of the baseline IQ area -- which pins the select share at 17%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import ProcessorConfig
+
+#: Transistor density, x10^-3 transistors per lambda^2 (paper Table 5).
+TRANSISTOR_DENSITY = {
+    "tag_ram": 1.399,
+    "wakeup": 1.586,
+    "select": 0.740,
+    "age_matrix": 1.708,
+    "l2_cache_512kb (Sun)": 3.957,
+    "fp_multiplier_54b (Fujitsu)": 0.726,
+    "skylake_chip (Intel)": 0.701,
+}
+
+# Reference geometry and calibrated area shares of the baseline IQ.
+_REF_ENTRIES = 128
+_REF_ISSUE_WIDTH = 6
+_REF_SHARES = {
+    "wakeup": 0.27,
+    "select": 0.17,
+    "tag_ram": 0.08,
+    "payload_ram": 0.19,
+    "age_matrix": 0.29,
+}
+
+#: Additional select logic in absolute terms (Table 6, 14nm).
+EXTRA_SELECT_AREA_MM2 = 0.0029
+#: Derived from Table 6's ratios: 0.0029 mm^2 is 0.034% of the core and
+#: 0.010% of the chip.
+SKYLAKE_CORE_AREA_MM2 = EXTRA_SELECT_AREA_MM2 / 0.00034
+SKYLAKE_CHIP_AREA_MM2 = EXTRA_SELECT_AREA_MM2 / 0.00010
+
+#: Baseline IQ area implied by the 17% overhead being 0.0029 mm^2.
+BASELINE_IQ_AREA_MM2 = EXTRA_SELECT_AREA_MM2 / 0.17
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Absolute (mm^2 at 14nm) and relative circuit areas."""
+
+    circuits_mm2: Dict[str, float]
+    extra_select_mm2: float
+
+    @property
+    def baseline_mm2(self) -> float:
+        return sum(self.circuits_mm2.values())
+
+    @property
+    def swque_mm2(self) -> float:
+        return self.baseline_mm2 + self.extra_select_mm2
+
+    @property
+    def overhead_fraction(self) -> float:
+        """SWQUE area overhead over the baseline IQ (paper: 17%)."""
+        return self.extra_select_mm2 / self.baseline_mm2
+
+    def relative_sizes(self) -> Dict[str, float]:
+        """Each circuit as a fraction of the baseline IQ (Figure 13)."""
+        total = self.baseline_mm2
+        return {name: area / total for name, area in self.circuits_mm2.items()}
+
+    @property
+    def vs_skylake_core(self) -> float:
+        """Extra area over a Skylake core (paper: 0.034%)."""
+        return self.extra_select_mm2 / SKYLAKE_CORE_AREA_MM2
+
+    @property
+    def vs_skylake_chip(self) -> float:
+        """Extra area over the whole chip (paper: 0.010%)."""
+        return self.extra_select_mm2 / SKYLAKE_CHIP_AREA_MM2
+
+
+class IqAreaModel:
+    """Analytical IQ area model parameterized by processor geometry."""
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self.config = config
+
+    def _scales(self) -> Dict[str, float]:
+        """Per-circuit area scaling relative to the reference geometry.
+
+        CAM/RAM arrays scale with entries x ports; the select logic with
+        entries x issue width; the age matrix with entries squared (it is
+        an N x N bit matrix, which is why replicating it is expensive).
+        """
+        e = self.config.iq_entries / _REF_ENTRIES
+        w = self.config.issue_width / _REF_ISSUE_WIDTH
+        return {
+            "wakeup": e * w,
+            "select": e * w,
+            "tag_ram": e * w,
+            "payload_ram": e * w,
+            "age_matrix": e * e,
+        }
+
+    def report(self, num_age_matrices: int = 1) -> AreaReport:
+        """Absolute and relative areas for this configuration."""
+        if num_age_matrices < 1:
+            raise ValueError("need at least one age matrix")
+        scales = self._scales()
+        circuits = {
+            name: BASELINE_IQ_AREA_MM2 * share * scales[name]
+            for name, share in _REF_SHARES.items()
+        }
+        circuits["age_matrix"] *= num_age_matrices
+        extra_select = circuits["select"]  # S_RV is a copy of the select logic
+        return AreaReport(circuits_mm2=circuits, extra_select_mm2=extra_select)
+
+    def cost_neutral_age_entries(self) -> int:
+        """IQ entries AGE can afford with SWQUE's extra area (Table 6).
+
+        The extra select logic is 17% of the IQ, and per-entry circuits
+        dominate the baseline, so AGE can grow by ~17% of the entry count:
+        128 -> 150 entries in the paper.
+        """
+        report = self.report()
+        grown = int(round(self.config.iq_entries * (1.0 + report.overhead_fraction)))
+        # The paper rounds 128 * 1.17 = 149.8 to 150 entries.
+        return grown

@@ -1,0 +1,14 @@
+"""Experiment harness: one-call simulation and the paper's figures/tables."""
+
+from repro.sim.results import SimResult, geomean, speedup
+from repro.sim.simulator import simulate
+from repro.sim.runner import run_policies, format_table
+
+__all__ = [
+    "SimResult",
+    "geomean",
+    "speedup",
+    "simulate",
+    "run_policies",
+    "format_table",
+]

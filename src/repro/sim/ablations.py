@@ -1,0 +1,172 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own evaluation: each function isolates one
+modelling or design decision and quantifies it, so a reader can see *why*
+the system behaves as it does.
+
+* :func:`wrong_path_ablation` -- the load-bearing modelling choice: with
+  stall-on-mispredict fetch, issue priority stops mattering entirely.
+* :func:`related_work_comparison` -- SWQUE against the Section 5 baselines
+  (hierarchical scheduling window, old-queue rearranging, and the
+  unimplementable criticality oracle as an upper bound).
+* :func:`iq_size_sweep` -- where the CIRC-PC vs AGE crossover falls as the
+  queue grows (the paper's Section 4.3 intuition, parameterized).
+* :func:`flpi_region_sweep` -- sensitivity of SWQUE to the one
+  under-specified parameter we had to calibrate.
+* :func:`switch_interval_sweep` -- SWQUE's sensitivity to the Table 3
+  interval length.
+* :func:`prefetch_ablation` -- how much the stream prefetcher shapes the
+  MLP programs (and therefore SWQUE's mode decisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
+
+from repro.config import MEDIUM, PrefetchConfig, scaled_iq_config
+from repro.sim.results import geomean
+from repro.sim.runner import run_policies
+
+DEFAULT_INSTRUCTIONS = 40_000
+
+#: Representative programs per class (full-suite sweeps are the
+#: benchmarks' job; ablations use a fast, fixed panel).
+PANEL_MILP = ["exchange2", "leela", "perlbench"]
+PANEL_MLP = ["omnetpp", "fotonik3d"]
+PANEL_RILP = ["bwaves"]
+PANEL = PANEL_MILP + PANEL_MLP + PANEL_RILP
+
+
+def _gm_speedup(results, programs: Sequence[str], policy: str, base: str) -> float:
+    return geomean(
+        results[w][policy].ipc / results[w][base].ipc for w in programs
+    ) - 1.0
+
+
+def wrong_path_ablation(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+) -> dict:
+    """Priority sensitivity with and without wrong-path execution.
+
+    Returns the SHIFT-over-RAND geomean speedup under both front ends.
+    With wrong-path fetch the age order wins clearly; under
+    stall-on-mispredict the gap collapses (and can invert) because there
+    is no junk for the priority to demote.
+    """
+    programs = list(programs or PANEL_MILP)
+    out = {}
+    for label, config in (
+        ("wrong_path", MEDIUM),
+        ("stall_on_mispredict", replace(MEDIUM, wrong_path_fetch=False)),
+    ):
+        results = run_policies(programs, ["shift", "rand", "age"], config=config,
+                               num_instructions=num_instructions)
+        out[label] = {
+            "shift_over_rand": _gm_speedup(results, programs, "shift", "rand"),
+            "shift_over_age": _gm_speedup(results, programs, "shift", "age"),
+        }
+    return out
+
+
+def related_work_comparison(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+) -> dict:
+    """SWQUE vs the Section 5 alternatives, as speedups over AGE."""
+    programs = list(programs or PANEL_MILP)
+    policies = ["age", "swque", "hsw", "oldq", "critical-oracle"]
+    results = run_policies(programs, policies,
+                           num_instructions=num_instructions)
+    return {
+        policy: _gm_speedup(results, programs, policy, "age")
+        for policy in policies
+        if policy != "age"
+    }
+
+
+def iq_size_sweep(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = (48, 96, 128, 192, 256),
+) -> dict:
+    """CIRC-PC vs AGE across IQ sizes (capacity-vs-priority crossover).
+
+    Small queues starve CIRC-PC (its capacity inefficiency binds); large
+    queues hide it and let the correct priority dominate.
+    """
+    programs = list(programs or PANEL_MILP)
+    out: Dict[int, float] = {}
+    for size in sizes:
+        config = scaled_iq_config(MEDIUM, size)
+        results = run_policies(programs, ["age", "circ-pc"], config=config,
+                               num_instructions=num_instructions)
+        out[size] = _gm_speedup(results, programs, "circ-pc", "age")
+    return out
+
+
+def flpi_region_sweep(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+    fractions: Sequence[float] = (0.03125, 0.0625, 0.125, 0.25),
+) -> dict:
+    """SWQUE sensitivity to the FLPI low-priority region size.
+
+    Larger regions read more issues as "low priority", pushing SWQUE
+    toward AGE mode on priority-sensitive programs.  Reports the geomean
+    speedup over AGE and the mean CIRC-PC mode share on the m-ILP panel.
+    """
+    programs = list(programs or PANEL_MILP)
+    out = {}
+    for fraction in fractions:
+        config = replace(
+            MEDIUM, swque=replace(MEDIUM.swque, flpi_region_fraction=fraction)
+        )
+        results = run_policies(programs, ["age", "swque"], config=config,
+                               num_instructions=num_instructions)
+        share = sum(
+            results[w]["swque"].mode_fractions.get("circ-pc", 0.0)
+            for w in programs
+        ) / len(programs)
+        out[fraction] = {
+            "speedup_over_age": _gm_speedup(results, programs, "swque", "age"),
+            "circ_pc_share": share,
+        }
+    return out
+
+
+def switch_interval_sweep(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+    intervals: Sequence[int] = (2_500, 10_000, 40_000),
+) -> dict:
+    """SWQUE sensitivity to the Table 3 switch-interval length."""
+    programs = list(programs or PANEL_MILP + PANEL_MLP)
+    out = {}
+    for interval in intervals:
+        config = replace(
+            MEDIUM, swque=replace(MEDIUM.swque, switch_interval=interval)
+        )
+        results = run_policies(programs, ["age", "swque"], config=config,
+                               num_instructions=num_instructions)
+        out[interval] = _gm_speedup(results, programs, "swque", "age")
+    return out
+
+
+def prefetch_ablation(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+) -> dict:
+    """Stream-prefetcher contribution on the memory-intensive panel."""
+    programs = list(programs or PANEL_MLP + ["lbm"])
+    out = {}
+    for label, enabled in (("prefetch_on", True), ("prefetch_off", False)):
+        config = replace(MEDIUM, prefetch=PrefetchConfig(enabled=enabled))
+        results = run_policies(programs, ["age"], config=config,
+                               num_instructions=num_instructions)
+        out[label] = {w: results[w]["age"].ipc for w in programs}
+    out["speedup_from_prefetch"] = geomean(
+        out["prefetch_on"][w] / out["prefetch_off"][w] for w in programs
+    ) - 1.0
+    return out

@@ -1,0 +1,280 @@
+"""One function per paper figure and table.
+
+Every function returns a plain dict of rows/series mirroring what the
+paper reports, so the benchmark harness can both print them and assert
+their shape.  ``num_instructions`` trades fidelity for runtime; the
+defaults are sized for minutes-scale runs (the paper simulated 100M
+instructions per program on a C simulator -- we document the scale
+substitution in DESIGN.md).
+
+The full suite is used by default; pass ``programs`` to restrict (for
+quick looks or unit tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import LARGE, MEDIUM, ProcessorConfig, scaled_iq_config
+from repro.power.area import IqAreaModel, TRANSISTOR_DENSITY
+from repro.power.delay import IqDelayModel
+from repro.power.energy import IqEnergyModel
+from repro.sim.results import geomean
+from repro.sim.runner import run_policies
+from repro.sim.simulator import simulate
+from repro.workloads.spec2017 import FP_PROGRAMS, INT_PROGRAMS, SPEC2017_PROFILES
+
+DEFAULT_INSTRUCTIONS = 60_000
+
+
+def _suites(programs: Optional[Sequence[str]]) -> Dict[str, List[str]]:
+    if programs is None:
+        return {"int": list(INT_PROGRAMS), "fp": list(FP_PROGRAMS)}
+    out: Dict[str, List[str]] = {"int": [], "fp": []}
+    for name in programs:
+        out[SPEC2017_PROFILES[name].suite].append(name)
+    return {suite: names for suite, names in out.items() if names}
+
+
+def _gm_vs(results, programs: Sequence[str], policy: str, base: str) -> float:
+    return geomean(results[w][policy].ipc / results[w][base].ipc for w in programs) - 1.0
+
+
+def figure8(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    config: ProcessorConfig = MEDIUM,
+    programs: Optional[Sequence[str]] = None,
+) -> dict:
+    """IPC degradation relative to SHIFT for CIRC/RAND/AGE/SWQUE (Fig 8).
+
+    Returns ``{"GM int": {policy: degradation}, "GM fp": {...}}`` where
+    degradation is positive-is-worse, as in the figure's bars.
+    """
+    policies = ["shift", "circ", "rand", "age", "swque"]
+    suites = _suites(programs)
+    results = run_policies(
+        [w for names in suites.values() for w in names], policies,
+        config=config, num_instructions=num_instructions,
+    )
+    out = {}
+    for suite, names in suites.items():
+        out[f"GM {suite}"] = {
+            policy: -_gm_vs(results, names, policy, "shift")
+            for policy in policies
+            if policy != "shift"
+        }
+    return out
+
+
+def figure9(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+    include_large: bool = True,
+) -> dict:
+    """Per-program SWQUE speedup over AGE, medium + large processors (Fig 9)."""
+    suites = _suites(programs)
+    names = [w for progs in suites.values() for w in progs]
+    configs = [MEDIUM] + ([LARGE] if include_large else [])
+    out: dict = {"programs": {}, "geomean": {}}
+    for config in configs:
+        results = run_policies(
+            names, ["age", "swque"], config=config,
+            num_instructions=num_instructions,
+        )
+        for w in names:
+            entry = out["programs"].setdefault(
+                w, {"class": SPEC2017_PROFILES[w].classification}
+            )
+            entry[config.name] = results[w]["swque"].ipc / results[w]["age"].ipc - 1.0
+        for suite, progs in suites.items():
+            out["geomean"][f"{suite}-{config.name}"] = _gm_vs(
+                results, progs, "swque", "age"
+            )
+    return out
+
+
+def figure10(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    config: ProcessorConfig = MEDIUM,
+    programs: Optional[Sequence[str]] = None,
+) -> dict:
+    """Execution-cycle breakdown by SWQUE mode per program (Fig 10)."""
+    suites = _suites(programs)
+    out = {}
+    for suite, names in suites.items():
+        for w in names:
+            result = simulate(w, "swque", config=config, num_instructions=num_instructions)
+            out[w] = {
+                "class": SPEC2017_PROFILES[w].classification,
+                "circ-pc": result.mode_fractions.get("circ-pc", 0.0),
+                "age": result.mode_fractions.get("age", 0.0),
+                "switches": result.mode_switches,
+            }
+    return out
+
+
+def figure11(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    config: ProcessorConfig = MEDIUM,
+    programs: Optional[Sequence[str]] = None,
+) -> dict:
+    """Degradation vs SHIFT for CIRC-CONV / CIRC-PPRI / CIRC-PC (Fig 11)."""
+    policies = ["shift", "circ", "circ-ppri", "circ-pc"]
+    suites = _suites(programs)
+    results = run_policies(
+        [w for names in suites.values() for w in names], policies,
+        config=config, num_instructions=num_instructions,
+    )
+    out = {}
+    for suite, names in suites.items():
+        out[f"GM {suite}"] = {
+            "circ-conv": -_gm_vs(results, names, "circ", "shift"),
+            "circ-ppri": -_gm_vs(results, names, "circ-ppri", "shift"),
+            "circ-pc": -_gm_vs(results, names, "circ-pc", "shift"),
+        }
+    return out
+
+
+def figure12(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    config: ProcessorConfig = MEDIUM,
+    programs: Optional[Sequence[str]] = None,
+) -> dict:
+    """IQ energy of SWQUE relative to the idealized SHIFT (Fig 12)."""
+    suites = _suites(programs)
+    names = [w for progs in suites.values() for w in progs]
+    model = IqEnergyModel(config)
+    results = run_policies(
+        names, ["shift", "swque"], config=config, num_instructions=num_instructions
+    )
+    relatives = []
+    shares = {"static_base": 0.0, "dynamic_base": 0.0,
+              "static_swque": 0.0, "dynamic_swque": 0.0}
+    for w in names:
+        ishift = model.evaluate(results[w]["shift"].stats, "shift", idealized_shift=True)
+        swque = model.evaluate(results[w]["swque"].stats, "swque")
+        relatives.append(swque.relative_to(ishift))
+        total = swque.total
+        for key in shares:
+            shares[key] += getattr(swque, key) / total / len(names)
+    return {
+        "relative_energy_geomean": geomean(relatives),
+        "swque_breakdown_shares": shares,
+        "per_program": dict(zip(names, relatives)),
+    }
+
+
+def figure13(config: ProcessorConfig = MEDIUM) -> dict:
+    """Relative size of each circuit in SWQUE (Fig 13)."""
+    report = IqAreaModel(config).report()
+    sizes = report.relative_sizes()
+    sizes["extra_select (S_RV)"] = report.overhead_fraction
+    return sizes
+
+
+def figure14(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+    include_large: bool = True,
+) -> dict:
+    """SWQUE-1AM / AGE-multiAM / SWQUE-multiAM speedups over AGE (Fig 14)."""
+    suites = _suites(programs)
+    names = [w for progs in suites.values() for w in progs]
+    configs = [MEDIUM] + ([LARGE] if include_large else [])
+    out: dict = {}
+    for config in configs:
+        results = run_policies(
+            names, ["age", "swque", "age-multi", "swque-multi"],
+            config=config, num_instructions=num_instructions,
+        )
+        for suite, progs in suites.items():
+            out[f"{suite}-{config.name}"] = {
+                "swque-1am": _gm_vs(results, progs, "swque", "age"),
+                "age-multiam": _gm_vs(results, progs, "age-multi", "age"),
+                "swque-multiam": _gm_vs(results, progs, "swque-multi", "age"),
+            }
+    return out
+
+
+def table5() -> dict:
+    """Transistor density comparison (Table 5), x10^-3 / lambda^2."""
+    return dict(TRANSISTOR_DENSITY)
+
+
+def table6(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+) -> dict:
+    """Additional cost and the cost-neutral comparison (Table 6).
+
+    SWQUE at 128 entries is compared against an AGE queue grown to spend
+    the same extra area on capacity instead (150 entries).
+    """
+    area = IqAreaModel(MEDIUM)
+    report = area.report()
+    grown_entries = area.cost_neutral_age_entries()
+    grown_config = scaled_iq_config(MEDIUM, grown_entries)
+    suites = _suites(programs)
+    names = [w for progs in suites.values() for w in progs]
+    base = run_policies(names, ["age", "swque"], config=MEDIUM,
+                        num_instructions=num_instructions)
+    grown = run_policies(names, ["age"], config=grown_config,
+                         num_instructions=num_instructions)
+    out = {
+        "additional_area_mm2": report.extra_select_mm2,
+        "vs_skylake_core": report.vs_skylake_core,
+        "vs_skylake_chip": report.vs_skylake_chip,
+        "age_entries_cost_neutral": grown_entries,
+    }
+    for suite, progs in suites.items():
+        out[f"swque_vs_age_{suite}"] = _gm_vs(base, progs, "swque", "age")
+        out[f"age{grown_entries}_vs_age_{suite}"] = geomean(
+            grown[w]["age"].ipc / base[w]["age"].ipc for w in progs
+        ) - 1.0
+    return out
+
+
+def section47(config: ProcessorConfig = MEDIUM) -> dict:
+    """Delay checks (Section 4.7)."""
+    report = IqDelayModel(config).report()
+    return {
+        "dtm_overhead": report.dtm_overhead,
+        "double_tag_access_fraction": report.double_tag_access_fraction,
+        "payload_fraction": report.payload_fraction,
+        "double_access_fits": report.double_access_fits,
+        "final_grant_fits": report.final_grant_fits,
+    }
+
+
+def section48(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    programs: Optional[Sequence[str]] = None,
+    penalties: Sequence[int] = (10, 40),
+) -> dict:
+    """Switch-penalty sensitivity (Section 4.8)."""
+    suites = _suites(programs)
+    names = [w for progs in suites.values() for w in progs]
+    ipcs: Dict[int, List[float]] = {}
+    switch_rates: List[float] = []
+    for penalty in penalties:
+        config = replace(MEDIUM, swque=replace(MEDIUM.swque, switch_penalty=penalty))
+        runs = [
+            simulate(w, "swque", config=config, num_instructions=num_instructions)
+            for w in names
+        ]
+        ipcs[penalty] = [r.ipc for r in runs]
+        if penalty == penalties[0]:
+            switch_rates = [
+                1e6 * r.mode_switches / r.stats.cycles for r in runs if r.stats.cycles
+            ]
+    base_penalty = penalties[0]
+    out = {"base_penalty": base_penalty}
+    for penalty in penalties[1:]:
+        out[f"degradation_at_{penalty}"] = 1.0 - geomean(
+            hi / lo for hi, lo in zip(ipcs[penalty], ipcs[base_penalty])
+        )
+    out["switches_per_mcycle_mean"] = (
+        sum(switch_rates) / len(switch_rates) if switch_rates else 0.0
+    )
+    return out

@@ -1,0 +1,63 @@
+"""Simulation results and the small statistics helpers experiments need."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.cpu.stats import PipelineStats
+
+
+@dataclass
+class SimResult:
+    """Outcome of one (workload, IQ policy, processor config) simulation."""
+
+    workload: str
+    policy: str
+    config: str
+    num_instructions: int
+    stats: PipelineStats
+    #: SWQUE only: fraction of cycles in each mode (Figure 10).
+    mode_fractions: Dict[str, float] = field(default_factory=dict)
+    mode_switches: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def mpki(self) -> float:
+        return self.stats.mpki
+
+    def summary(self) -> str:
+        line = (
+            f"{self.workload:<12} {self.policy:<11} {self.config:<7} "
+            f"IPC={self.ipc:5.3f}  MPKI={self.mpki:5.2f}  "
+            f"bMPKI={self.stats.branch_mpki:5.2f}"
+        )
+        if self.mode_fractions:
+            line += f"  circ-pc={self.mode_fractions.get('circ-pc', 0.0):4.0%}"
+        return line
+
+
+def speedup(result: SimResult, baseline: SimResult) -> float:
+    """Relative speedup of ``result`` over ``baseline`` (0.10 = +10%)."""
+    if baseline.ipc <= 0:
+        raise ValueError("baseline has zero IPC")
+    return result.ipc / baseline.ipc - 1.0
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; accepts ratios (all values must be positive)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_speedup(pairs: Iterable[tuple]) -> float:
+    """Geometric-mean speedup over (result, baseline) pairs (0.10 = +10%)."""
+    return geomean(r.ipc / b.ipc for r, b in pairs) - 1.0

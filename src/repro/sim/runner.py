@@ -1,0 +1,55 @@
+"""Batch runners and plain-text result tables for the experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import MEDIUM, ProcessorConfig
+from repro.sim.results import SimResult
+from repro.sim.simulator import DEFAULT_INSTRUCTIONS, simulate
+
+
+def run_policies(
+    workloads: Sequence[str],
+    policies: Sequence[str],
+    config: ProcessorConfig = MEDIUM,
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: Optional[int] = None,
+) -> Dict[str, Dict[str, SimResult]]:
+    """Simulate every (workload, policy) pair; results[workload][policy].
+
+    The same generated trace is reused across policies for a workload, so
+    policy comparisons are on identical instruction streams.
+    """
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec2017 import get_profile
+
+    results: Dict[str, Dict[str, SimResult]] = {}
+    for name in workloads:
+        trace = generate_trace(get_profile(name), num_instructions, seed=seed)
+        results[name] = {
+            policy: simulate(trace, policy, config=config) for policy in policies
+        }
+    return results
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [floatfmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt_line(headers), fmt_line(["-" * w for w in widths])]
+    lines.extend(fmt_line(r) for r in rendered)
+    return "\n".join(lines)

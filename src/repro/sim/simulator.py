@@ -1,0 +1,88 @@
+"""Top-level simulation entry point.
+
+:func:`simulate` wires a workload, an IQ policy, and a processor
+configuration into a pipeline and runs it to completion:
+
+    >>> from repro.sim import simulate
+    >>> result = simulate("deepsjeng", "swque", num_instructions=5000)
+    >>> result.ipc > 0
+    True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.config import MEDIUM, ProcessorConfig
+from repro.core.factory import build_issue_queue
+from repro.core.swque import SwitchingQueue
+from repro.cpu.pipeline import Pipeline
+from repro.cpu.stats import PipelineStats
+from repro.cpu.trace import Trace
+from repro.sim.results import SimResult
+from repro.workloads.generator import generate_trace
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.spec2017 import get_profile
+
+#: Default trace length: long enough for several SWQUE switch intervals.
+DEFAULT_INSTRUCTIONS = 30_000
+
+WorkloadLike = Union[str, WorkloadProfile, Trace]
+
+
+def _resolve_trace(
+    workload: WorkloadLike, num_instructions: int, seed: Optional[int]
+) -> Trace:
+    if isinstance(workload, Trace):
+        return workload
+    if isinstance(workload, str):
+        workload = get_profile(workload)
+    if isinstance(workload, WorkloadProfile):
+        return generate_trace(workload, num_instructions, seed=seed)
+    raise TypeError(f"cannot interpret workload of type {type(workload).__name__}")
+
+
+def simulate(
+    workload: WorkloadLike,
+    policy: str = "age",
+    config: ProcessorConfig = MEDIUM,
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    warmup_instructions: Optional[int] = None,
+) -> SimResult:
+    """Run one workload under one IQ policy and return the result.
+
+    ``workload`` may be a benchmark name (see
+    :data:`repro.workloads.SPEC2017_PROFILES`), a
+    :class:`~repro.workloads.profile.WorkloadProfile`, or a pre-built
+    :class:`~repro.cpu.trace.Trace` (in which case ``num_instructions``
+    and ``seed`` are ignored).
+
+    ``warmup_instructions`` (default: a quarter of the trace) are executed
+    to warm caches and predictors before measurement starts, mirroring the
+    paper's 16B-instruction skip.  Pass 0 to measure from a cold machine.
+    """
+    trace = _resolve_trace(workload, num_instructions, seed)
+    if warmup_instructions is None:
+        # Cover at least two SWQUE switch intervals so cold-cache MPKI and
+        # the initial mode shakeout stay out of the measurement.
+        warmup_instructions = min(20_000, len(trace) // 2)
+    stats = PipelineStats()
+    iq = build_issue_queue(policy, config, stats=stats, trace=trace)
+    pipeline = Pipeline(trace, config, iq, stats=stats)
+    pipeline.run(max_cycles=max_cycles, warmup_instructions=warmup_instructions)
+    mode_fractions = {}
+    mode_switches = 0
+    if isinstance(iq, SwitchingQueue):
+        mode_fractions = iq.mode_cycle_fractions()
+        mode_switches = stats.mode_switches
+    return SimResult(
+        workload=trace.name or "custom",
+        policy=policy,
+        config=config.name,
+        num_instructions=len(trace),
+        stats=stats,
+        mode_fractions=mode_fractions,
+        mode_switches=mode_switches,
+    )

@@ -1,0 +1,30 @@
+"""Synthetic workloads: the SPEC2017 substitute.
+
+The paper's evaluation axes are each program's *phase behaviour*: how much
+instruction-level parallelism it exposes (dependence-chain structure), how
+much memory-level parallelism it can exploit (independent long-latency
+loads), how predictable its branches are, and how large its footprint is.
+:class:`~repro.workloads.profile.WorkloadProfile` parameterizes exactly
+those axes; :mod:`repro.workloads.generator` turns a profile into a
+deterministic instruction trace; :mod:`repro.workloads.spec2017` provides
+one calibrated profile per benchmark the paper runs.
+"""
+
+from repro.workloads.profile import PhaseSpec, WorkloadProfile
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec2017 import (
+    SPEC2017_PROFILES,
+    INT_PROGRAMS,
+    FP_PROGRAMS,
+    get_profile,
+)
+
+__all__ = [
+    "PhaseSpec",
+    "WorkloadProfile",
+    "generate_trace",
+    "SPEC2017_PROFILES",
+    "INT_PROGRAMS",
+    "FP_PROGRAMS",
+    "get_profile",
+]

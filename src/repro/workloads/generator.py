@@ -1,0 +1,374 @@
+"""Deterministic synthetic-trace generation from a workload profile.
+
+Each phase is rendered as a *block* of instruction templates (a loop body)
+executed repeatedly: template kinds, chain assignments, and branch biases
+are fixed per template (so branch predictors and the I-cache see realistic
+per-PC behaviour), while addresses and branch outcomes vary per dynamic
+instance according to the phase's memory pattern and branch randomness.
+
+Register convention (architectural):
+  * integer chain registers: ``1 .. 29`` (round-robin over int chains)
+  * FP chain registers:      ``33 .. 61``
+  * register ``30`` is a stable base register written once at the start --
+    loads that address through it are mutually independent (the MLP case).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cpu.isa import OpClass
+from repro.cpu.trace import Trace, TraceInstruction
+from repro.workloads.profile import PhaseSpec, WorkloadProfile
+
+_BASE_REG = 30          # stable integer base register
+_DATA_BASE = 0x10_0000  # start of the data region
+_PHASE_PC_STRIDE = 0x4_0000
+
+
+class _Template:
+    """One static instruction slot in a phase's loop body."""
+
+    __slots__ = (
+        "kind", "op", "chain", "extra_src_chain", "bias_taken", "stream", "chain_dep",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        op: Optional[OpClass] = None,
+        chain: int = 0,
+        extra_src_chain: int = -1,
+        bias_taken: Optional[bool] = None,  # None = random branch
+        stream: int = 0,
+        chain_dep: bool = False,            # load address depends on the chain
+    ) -> None:
+        self.kind = kind
+        self.op = op
+        self.chain = chain
+        self.extra_src_chain = extra_src_chain
+        self.bias_taken = bias_taken
+        self.stream = stream
+        self.chain_dep = chain_dep
+
+
+class _ChainState:
+    """Per-chain dynamic state during unrolling."""
+
+    __slots__ = ("reg", "ops_since_break", "is_critical", "is_fp")
+
+    def __init__(self, reg: int, is_critical: bool, is_fp: bool) -> None:
+        self.reg = reg
+        self.ops_since_break = 0
+        self.is_critical = is_critical
+        self.is_fp = is_fp
+
+
+def _chain_register(chain: int, is_fp: bool) -> int:
+    if is_fp:
+        return 33 + (chain % 28)
+    return 1 + (chain % 28)
+
+
+def _pick_compute_op(rng: random.Random, is_fp: bool, long_fraction: float) -> OpClass:
+    roll = rng.random()
+    if is_fp:
+        if roll < long_fraction * 0.15:
+            return OpClass.FPDIV
+        if roll < long_fraction:
+            return OpClass.FPMUL
+        return OpClass.FPADD
+    if roll < long_fraction * 0.1:
+        return OpClass.IDIV
+    if roll < long_fraction:
+        return OpClass.IMUL
+    return OpClass.IALU
+
+
+def _build_templates(phase: PhaseSpec, rng: random.Random) -> List[_Template]:
+    """Lay out one loop body for ``phase``."""
+    k = phase.parallel_chains
+    num_fp_chains = int(round(k * phase.fp_fraction))
+    templates: List[_Template] = []
+    num_streams = max(2, k // 2)
+    for i in range(phase.block_size - 1):
+        chain = i % k
+        is_fp_chain = chain < num_fp_chains
+        is_critical = chain < phase.critical_chains
+        roll = rng.random()
+        if roll < phase.load_fraction:
+            templates.append(
+                _Template(
+                    "load",
+                    chain=chain,
+                    stream=rng.randrange(num_streams),
+                    chain_dep=is_critical,
+                )
+            )
+        elif roll < phase.load_fraction + phase.store_fraction:
+            templates.append(
+                _Template(
+                    "store",
+                    chain=chain,
+                    extra_src_chain=(chain + 1) % k,
+                    stream=rng.randrange(num_streams),
+                )
+            )
+        elif roll < phase.load_fraction + phase.store_fraction + phase.branch_fraction:
+            if rng.random() < phase.random_branch_fraction:
+                bias: Optional[bool] = None
+            else:
+                bias = rng.random() < 0.5
+            # Branch conditions mostly hang off the critical chains (like
+            # loop-carried exit conditions), so resolving a mispredict
+            # means advancing genuinely old, genuinely urgent dataflow.
+            # Comparisons *join* two chains where possible: the resolution
+            # then needs several old instructions concurrently, which is
+            # exactly what a single age matrix cannot protect.
+            if phase.critical_chains >= 2 and rng.random() < 0.75:
+                branch_chain = rng.randrange(phase.critical_chains)
+                other = rng.randrange(phase.critical_chains - 1)
+                branch_extra = other if other < branch_chain else other + 1
+            elif phase.critical_chains == 1 and rng.random() < 0.75:
+                branch_chain = 0
+                branch_extra = -1
+            elif phase.critical_chains < k:
+                branch_chain = phase.critical_chains + rng.randrange(
+                    k - phase.critical_chains
+                )
+                branch_extra = -1
+            else:
+                branch_chain = chain
+                branch_extra = -1
+            # The branch's dataflow slice: an *independent* burst of
+            # dependent work rooted just before the branch.  Being the
+            # youngest correct-path work, the slice competes directly with
+            # wrong-path instructions for issue slots -- under age order it
+            # always wins, under random order it does not.
+            for depth in range(phase.branch_slice_depth):
+                kind = "slice_root" if depth == 0 else (
+                    "slice_load" if depth % 2 == 1 else "slice_op"
+                )
+                templates.append(_Template(kind, chain=branch_chain))
+            templates.append(
+                _Template(
+                    "branch",
+                    chain=branch_chain if phase.branch_slice_depth == 0 else -1,
+                    extra_src_chain=branch_extra,
+                    bias_taken=bias,
+                )
+            )
+        elif is_critical and rng.random() < phase.critical_load_fraction:
+            # Weight the critical path with L1-resident dependent loads.
+            templates.append(
+                _Template(
+                    "load",
+                    chain=chain,
+                    stream=rng.randrange(num_streams),
+                    chain_dep=True,
+                )
+            )
+        else:
+            op = _pick_compute_op(rng, is_fp_chain, phase.long_latency_fraction)
+            extra = (chain + 1 + rng.randrange(k)) % k if rng.random() < 0.15 else -1
+            templates.append(_Template("compute", op=op, chain=chain, extra_src_chain=extra))
+    # Loop-closing backward branch (always taken, perfectly predictable).
+    templates.append(_Template("loop", bias_taken=True))
+    return templates
+
+
+class _PhaseUnroller:
+    """Emits dynamic instructions for one phase."""
+
+    def __init__(self, phase: PhaseSpec, phase_pc_base: int, rng: random.Random) -> None:
+        self.phase = phase
+        self.rng = rng
+        self.pc_base = phase_pc_base
+        self.templates = _build_templates(phase, rng)
+        k = phase.parallel_chains
+        num_fp_chains = int(round(k * phase.fp_fraction))
+        self.chains = [
+            _ChainState(
+                _chain_register(c, c < num_fp_chains),
+                is_critical=c < phase.critical_chains,
+                is_fp=c < num_fp_chains,
+            )
+            for c in range(k)
+        ]
+        footprint_lines = max(1, phase.footprint_bytes // 64)
+        self.footprint_words = footprint_lines * 8
+        num_streams = max(2, k // 2)
+        # Spread stream starting points across the footprint.
+        self.stream_pos = [
+            (s * self.footprint_words) // num_streams for s in range(num_streams)
+        ]
+        # "sparse" pattern: a monotone line cursor guaranteeing fresh lines
+        # at a prefetcher-defeating stride.
+        self.sparse_line = phase_pc_base  # distinct per phase
+        # Branch-slice registers rotate so consecutive slices stay
+        # independent of each other.
+        self._slice_regs = (24, 25, 26, 27, 28, 29)
+        self._slice_index = 0
+        self.template_index = 0
+
+    def _next_address(self, template: _Template, chain_dep: bool) -> int:
+        pattern = self.phase.memory_pattern
+        if chain_dep and pattern != "pointer":
+            # Chain-dependent loads (the critical path) hit a small hot
+            # region: their weight is L1 latency, not cache misses.
+            hot_words = min(self.footprint_words, 16 * 1024 // 8)
+            return _DATA_BASE + self.rng.randrange(hot_words) * 8
+        if pattern == "sparse":
+            if self.rng.random() < self.phase.sparse_load_fraction:
+                # Fresh line, 3-5 lines beyond the last: never revisited,
+                # never prefetched (non-unit stride).
+                self.sparse_line += 3 + self.rng.randrange(3)
+                return _DATA_BASE + self.sparse_line * 64
+            hot_words = min(self.footprint_words, 64 * 1024 // 8)
+            return _DATA_BASE + self.rng.randrange(hot_words) * 8
+        if pattern == "mixed" and template.stream % 2 == 0:
+            pattern = "stream"
+        elif pattern == "mixed":
+            pattern = "random"
+        if pattern == "stream":
+            stream = template.stream
+            word = self.stream_pos[stream]
+            self.stream_pos[stream] = (word + 1) % self.footprint_words
+        else:  # 'random' and 'pointer' both touch arbitrary words
+            word = self.rng.randrange(self.footprint_words)
+        return _DATA_BASE + word * 8
+
+    def emit(self, seq: int) -> TraceInstruction:
+        """Produce the next dynamic instruction."""
+        template = self.templates[self.template_index]
+        pc = self.pc_base + 4 * self.template_index
+        self.template_index += 1
+        wrapped = self.template_index >= len(self.templates)
+        if wrapped:
+            self.template_index = 0
+
+        if template.kind == "loop":
+            return TraceInstruction(
+                seq, OpClass.BRANCH, pc, srcs=(), taken=True, target=self.pc_base
+            )
+        if template.kind == "branch":
+            if template.bias_taken is None:
+                taken = self.rng.random() < 0.5
+            else:
+                flip = self.rng.random() < self.phase.branch_flip_rate
+                taken = template.bias_taken != flip
+            if template.chain < 0:
+                first_src = self._slice_regs[self._slice_index]
+            else:
+                first_src = self.chains[template.chain].reg
+            if template.extra_src_chain >= 0:
+                srcs = (first_src, self.chains[template.extra_src_chain].reg)
+            else:
+                srcs = (first_src,)
+            return TraceInstruction(
+                seq, OpClass.BRANCH, pc, srcs=srcs, taken=taken, target=pc + 64
+            )
+        if template.kind.startswith("slice"):
+            return self._emit_slice_op(template, seq, pc)
+
+        chain = self.chains[template.chain]
+        if template.kind == "load":
+            chain_dep = template.chain_dep or self.phase.memory_pattern == "pointer"
+            addr = self._next_address(template, template.chain_dep)
+            # Chain-dependent loads (pointer chasing, indexed gathers on the
+            # critical path) take their address from the chain register;
+            # independent loads address through the stable base register.
+            srcs = (chain.reg,) if chain_dep else (_BASE_REG,)
+            self._count_chain_op(chain)
+            return TraceInstruction(
+                seq, OpClass.LOAD, pc, dest=chain.reg, srcs=srcs, mem_addr=addr
+            )
+        if template.kind == "store":
+            addr = self._next_address(template, False)
+            data_chain = self.chains[template.extra_src_chain]
+            return TraceInstruction(
+                seq,
+                OpClass.STORE,
+                pc,
+                srcs=(chain.reg, data_chain.reg),
+                mem_addr=addr,
+            )
+
+        # Compute op on the template's chain.
+        broke = self._count_chain_op(chain)
+        if broke:
+            srcs: tuple = ()
+        elif template.extra_src_chain >= 0:
+            srcs = (chain.reg, self.chains[template.extra_src_chain].reg)
+        else:
+            srcs = (chain.reg,)
+        return TraceInstruction(seq, template.op, pc, dest=chain.reg, srcs=srcs)
+
+    def _emit_slice_op(self, template: _Template, seq: int, pc: int) -> TraceInstruction:
+        """One op of a branch's independent dataflow slice."""
+        if template.kind == "slice_root":
+            self._slice_index = (self._slice_index + 1) % len(self._slice_regs)
+            reg = self._slice_regs[self._slice_index]
+            return TraceInstruction(
+                seq, OpClass.LOAD, pc, dest=reg, srcs=(_BASE_REG,),
+                mem_addr=self._hot_address(),
+            )
+        reg = self._slice_regs[self._slice_index]
+        if template.kind == "slice_load":
+            return TraceInstruction(
+                seq, OpClass.LOAD, pc, dest=reg, srcs=(reg,),
+                mem_addr=self._hot_address(),
+            )
+        return TraceInstruction(seq, OpClass.IALU, pc, dest=reg, srcs=(reg,))
+
+    def _hot_address(self) -> int:
+        """An address in the small, L1-resident hot region."""
+        hot_words = min(self.footprint_words, 16 * 1024 // 8)
+        return _DATA_BASE + self.rng.randrange(hot_words) * 8
+
+    def _count_chain_op(self, chain: _ChainState) -> bool:
+        """Advance the chain's op counter; True when the chain breaks here."""
+        chain.ops_since_break += 1
+        if chain.is_critical:
+            return False
+        if chain.ops_since_break >= self.phase.chain_break_interval:
+            chain.ops_since_break = 0
+            return True
+        return False
+
+
+def generate_trace(
+    profile: WorkloadProfile,
+    num_instructions: int,
+    seed: Optional[int] = None,
+) -> Trace:
+    """Render ``num_instructions`` dynamic instructions of ``profile``.
+
+    Phases are consumed cyclically, each contributing its ``instructions``
+    count per visit, until the requested length is reached.  The result is
+    deterministic for a given (profile, num_instructions, seed).
+    """
+    if num_instructions < 1:
+        raise ValueError("trace length must be positive")
+    rng = random.Random(profile.seed if seed is None else seed)
+    instructions: List[TraceInstruction] = []
+    # A leading instruction initializes the stable base register.
+    instructions.append(
+        TraceInstruction(0, OpClass.IALU, 0x1000, dest=_BASE_REG, srcs=())
+    )
+    phase_index = 0
+    unrollers: dict = {}
+    while len(instructions) < num_instructions:
+        which = phase_index % len(profile.phases)
+        phase = profile.phases[which]
+        if which not in unrollers:
+            unrollers[which] = _PhaseUnroller(
+                phase, 0x2000 + which * _PHASE_PC_STRIDE, rng
+            )
+        unroller = unrollers[which]
+        remaining = num_instructions - len(instructions)
+        for _ in range(min(phase.instructions, remaining)):
+            instructions.append(unroller.emit(len(instructions)))
+        phase_index += 1
+    return Trace(instructions, name=profile.name)

@@ -1,0 +1,72 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cpu.dyninst import DynInst
+from repro.cpu.isa import OpClass
+from repro.cpu.trace import TraceInstruction
+
+_SEQ = itertools.count()
+
+
+class AlwaysFreeFuPool:
+    """FU pool stub that grants every claim (isolates queue logic)."""
+
+    def __init__(self) -> None:
+        self.claims = 0
+
+    def new_cycle(self, cycle: int) -> None:  # pragma: no cover - parity
+        pass
+
+    def try_claim(self, inst, cycle: int) -> bool:
+        self.claims += 1
+        return True
+
+
+class LimitedFuPool:
+    """FU pool stub granting a fixed number of claims per select call."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.granted = 0
+
+    def reset(self) -> None:
+        self.granted = 0
+
+    def try_claim(self, inst, cycle: int) -> bool:
+        if self.granted >= self.limit:
+            return False
+        self.granted += 1
+        return True
+
+
+def make_inst(
+    seq: int = None,
+    op: OpClass = OpClass.IALU,
+    dest: int = 1,
+    srcs: tuple = (),
+    mem_addr: int = None,
+    dispatch_cycle: int = 0,
+) -> DynInst:
+    """Build a standalone DynInst for queue-level tests."""
+    if seq is None:
+        seq = next(_SEQ)
+    trace_inst = TraceInstruction(seq, op, pc=0x1000 + 4 * seq, dest=dest,
+                                  srcs=srcs, mem_addr=mem_addr)
+    return DynInst(trace_inst, dispatch_cycle)
+
+
+@pytest.fixture
+def fu_pool():
+    return AlwaysFreeFuPool()
+
+
+@pytest.fixture
+def fresh_seq():
+    """Reset-free monotonically increasing sequence factory."""
+    counter = itertools.count()
+    return lambda: next(counter)

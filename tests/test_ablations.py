@@ -1,0 +1,40 @@
+"""Smoke tests for the ablation harness (tiny budgets; directions only)."""
+
+from repro.sim import ablations
+
+
+class TestAblationStructure:
+    def test_wrong_path_ablation_keys(self):
+        out = ablations.wrong_path_ablation(num_instructions=6000,
+                                            programs=["exchange2"])
+        assert set(out) == {"wrong_path", "stall_on_mispredict"}
+        assert "shift_over_rand" in out["wrong_path"]
+
+    def test_related_work_keys(self):
+        out = ablations.related_work_comparison(num_instructions=6000,
+                                                programs=["exchange2"])
+        assert set(out) == {"swque", "hsw", "oldq", "critical-oracle"}
+
+    def test_iq_size_sweep_keys(self):
+        out = ablations.iq_size_sweep(num_instructions=6000,
+                                      programs=["exchange2"], sizes=(64, 128))
+        assert set(out) == {64, 128}
+
+    def test_flpi_region_sweep_keys(self):
+        out = ablations.flpi_region_sweep(num_instructions=6000,
+                                          programs=["exchange2"],
+                                          fractions=(0.03125, 0.25))
+        assert set(out) == {0.03125, 0.25}
+        assert set(out[0.25]) == {"speedup_over_age", "circ_pc_share"}
+
+    def test_switch_interval_sweep_keys(self):
+        out = ablations.switch_interval_sweep(num_instructions=6000,
+                                              programs=["exchange2"],
+                                              intervals=(5000, 10000))
+        assert set(out) == {5000, 10000}
+
+    def test_prefetch_ablation_keys(self):
+        out = ablations.prefetch_ablation(num_instructions=6000,
+                                          programs=["fotonik3d"])
+        assert "speedup_from_prefetch" in out
+        assert "fotonik3d" in out["prefetch_on"]

@@ -1,0 +1,94 @@
+"""Tests for the age-matrix circuit model, including an oracle property."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.age_matrix import AgeMatrix
+
+
+class TestAgeMatrixBasics:
+    def test_single_requester_wins(self):
+        m = AgeMatrix(4)
+        m.insert(2)
+        assert m.oldest([2]) == 2
+
+    def test_oldest_of_two(self):
+        m = AgeMatrix(4)
+        m.insert(3)  # older
+        m.insert(1)  # younger
+        assert m.oldest([1, 3]) == 3
+
+    def test_non_requesting_older_entry_ignored(self):
+        m = AgeMatrix(4)
+        m.insert(3)
+        m.insert(1)
+        assert m.oldest([1]) == 1
+
+    def test_remove_then_reuse_slot(self):
+        m = AgeMatrix(4)
+        m.insert(0)
+        m.insert(1)
+        m.remove(0)
+        m.insert(0)  # slot reused by a *younger* instruction
+        assert m.oldest([0, 1]) == 1
+
+    def test_no_valid_requests(self):
+        m = AgeMatrix(4)
+        m.insert(1)
+        assert m.oldest([]) is None
+        assert m.oldest([2]) is None  # empty slot
+
+    def test_double_insert_rejected(self):
+        m = AgeMatrix(4)
+        m.insert(1)
+        with pytest.raises(ValueError):
+            m.insert(1)
+
+    def test_remove_empty_rejected(self):
+        m = AgeMatrix(4)
+        with pytest.raises(ValueError):
+            m.remove(1)
+
+    def test_slot_bounds_checked(self):
+        m = AgeMatrix(4)
+        with pytest.raises(IndexError):
+            m.insert(4)
+
+    def test_clear(self):
+        m = AgeMatrix(4)
+        m.insert(1)
+        m.clear()
+        assert m.oldest([1]) is None
+        m.insert(1)
+        assert m.oldest([1]) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=500), st.integers(min_value=2, max_value=16))
+def test_matrix_matches_min_seq_oracle(seed, size):
+    """Under random insert/remove traffic, the matrix's oldest requester
+    always equals the minimum-sequence-number oracle the timing model uses."""
+    rng = random.Random(seed)
+    matrix = AgeMatrix(size)
+    occupants = {}  # slot -> age counter
+    next_age = 0
+    for _ in range(80):
+        action = rng.random()
+        free = [s for s in range(size) if s not in occupants]
+        if action < 0.5 and free:
+            slot = rng.choice(free)
+            matrix.insert(slot)
+            occupants[slot] = next_age
+            next_age += 1
+        elif occupants:
+            slot = rng.choice(list(occupants))
+            matrix.remove(slot)
+            del occupants[slot]
+        if occupants:
+            k = rng.randint(1, len(occupants))
+            requesters = rng.sample(list(occupants), k)
+            expected = min(requesters, key=lambda s: occupants[s])
+            assert matrix.oldest(requesters) == expected

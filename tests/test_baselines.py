@@ -1,0 +1,173 @@
+"""Tests for the related-work baseline queues (HSW, old queue, oracle)."""
+
+import pytest
+
+from repro.core.critical import CriticalityOracleQueue, compute_criticality
+from repro.core.factory import build_issue_queue
+from repro.core.hsw import HierarchicalQueue
+from repro.core.oldq import OldQueue
+from repro.config import MEDIUM
+from repro.cpu.isa import OpClass
+from repro.cpu.trace import Trace, TraceInstruction
+
+from conftest import AlwaysFreeFuPool, LimitedFuPool, make_inst
+
+
+class TestHierarchicalQueue:
+    def test_promotion_moves_old_nonready_to_fast(self):
+        q = HierarchicalQueue(16, 2, fast_entries=4)
+        waiting = make_inst(seq=0, srcs=(5,))
+        waiting.pending_sources = 1
+        q.dispatch(waiting)
+        q.select(AlwaysFreeFuPool(), 0)  # triggers the mover
+        assert q.moves == 1
+        assert waiting in q._fast
+
+    def test_fast_queue_issues_immediately(self):
+        q = HierarchicalQueue(16, 2, fast_entries=4)
+        inst = make_inst(seq=0, srcs=(5,))
+        inst.pending_sources = 1
+        q.dispatch(inst)
+        q.select(AlwaysFreeFuPool(), 0)      # promoted while waiting
+        inst.pending_sources = 0
+        q.wakeup(inst)
+        issued = q.select(AlwaysFreeFuPool(), 1)
+        assert issued == [inst]
+
+    def test_slow_queue_pays_scheduling_latency(self):
+        q = HierarchicalQueue(16, 2, fast_entries=2)
+        inst = make_inst(seq=0)              # ready at dispatch: stays slow
+        q.dispatch(inst)
+        q.wakeup(inst)
+        assert q.select(AlwaysFreeFuPool(), 0) == []
+        assert q.select(AlwaysFreeFuPool(), 1) == []
+        issued = q.select(AlwaysFreeFuPool(), 0 + q.SLOW_LATENCY)
+        assert issued == [inst]
+
+    def test_fast_capacity_bounds_promotion(self):
+        q = HierarchicalQueue(16, 2, fast_entries=2)
+        insts = []
+        for seq in range(5):
+            inst = make_inst(seq=seq, srcs=(5,))
+            inst.pending_sources = 1
+            q.dispatch(inst)
+            insts.append(inst)
+        q.select(AlwaysFreeFuPool(), 0)
+        assert len(q._fast) == 2             # the two oldest
+
+    def test_conservation_and_flush(self):
+        q = HierarchicalQueue(16, 2)
+        insts = [make_inst(seq=i) for i in range(4)]
+        for inst in insts:
+            q.dispatch(inst)
+            q.wakeup(inst)
+        assert q.occupancy == 4
+        q.flush()
+        assert q.occupancy == 0
+        assert q.select(AlwaysFreeFuPool(), 9) == []
+
+    def test_invalid_fast_size_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalQueue(8, 2, fast_entries=8)
+
+
+class TestOldQueue:
+    def test_oldest_instructions_promoted(self):
+        q = OldQueue(16, 4)
+        insts = [make_inst(seq=i) for i in range(4)]
+        for inst in insts:
+            q.dispatch(inst)
+        q.select(AlwaysFreeFuPool(), 0)
+        # Mover bandwidth 2: the two oldest entered the old queue.
+        assert [i.seq for i in q._old] == [0, 1]
+
+    def test_old_queue_beats_position_priority(self):
+        q = OldQueue(16, 1)
+        old = make_inst(seq=0)
+        q.dispatch(old)
+        q.select(LimitedFuPool(0), 0)        # promote without issuing
+        young = make_inst(seq=1)
+        q.dispatch(young)
+        # Make the young instruction better-positioned than the old one
+        # cannot happen here (slots fill upward), so wake both and check
+        # multiple-oldest protection across two cycles.
+        q.wakeup(young)
+        q.wakeup(old)
+        fu = LimitedFuPool(1)
+        issued = q.select(fu, 1)
+        assert [i.seq for i in issued] == [0]
+
+    def test_moves_counted_for_energy(self):
+        q = OldQueue(16, 2)
+        for seq in range(3):
+            q.dispatch(make_inst(seq=seq))
+        q.select(AlwaysFreeFuPool(), 0)
+        assert q.moves > 0
+        assert q.stats.shift_compaction_moves == q.moves
+
+    def test_flush_clears_old_queue(self):
+        q = OldQueue(16, 2)
+        q.dispatch(make_inst(seq=0))
+        q.select(LimitedFuPool(0), 0)
+        q.flush()
+        assert q._old == []
+        assert q.occupancy == 0
+
+
+class TestCriticalityOracle:
+    def _trace(self):
+        insts = [
+            TraceInstruction(0, OpClass.IALU, 0x1000, dest=1),
+            TraceInstruction(1, OpClass.IALU, 0x1004, dest=2, srcs=(1,)),
+            TraceInstruction(2, OpClass.IALU, 0x1008, dest=3, srcs=(2,)),
+            TraceInstruction(3, OpClass.IALU, 0x100C, dest=4),  # leaf
+        ]
+        return Trace(insts)
+
+    def test_heights_follow_chain_depth(self):
+        heights = compute_criticality(self._trace())
+        assert heights[0] > heights[1] > heights[2]
+        assert heights[3] == 1  # independent single op
+
+    def test_loads_weighted_heavier(self):
+        insts = [
+            TraceInstruction(0, OpClass.LOAD, 0x1000, dest=1, mem_addr=0x10),
+            TraceInstruction(1, OpClass.IALU, 0x1004, dest=2),
+        ]
+        heights = compute_criticality(Trace(insts))
+        assert heights[0] > heights[1]
+
+    def test_select_prefers_critical(self):
+        trace = self._trace()
+        heights = compute_criticality(trace)
+        q = CriticalityOracleQueue(8, 1, criticality=heights)
+        chain_head = make_inst(seq=0)
+        leaf = make_inst(seq=3)
+        # Dispatch the leaf first so it holds the better slot.
+        q.dispatch(leaf)
+        q.dispatch(chain_head)
+        q.wakeup(leaf)
+        q.wakeup(chain_head)
+        issued = q.select(LimitedFuPool(1), 0)
+        assert issued == [chain_head]
+
+    def test_wrong_path_demoted(self):
+        q = CriticalityOracleQueue(8, 1, criticality={0: 100})
+        junk = make_inst(seq=5)
+        junk.wrong_path = True
+        real = make_inst(seq=0)
+        q.dispatch(junk)
+        q.dispatch(real)
+        q.wakeup(junk)
+        q.wakeup(real)
+        issued = q.select(LimitedFuPool(1), 0)
+        assert issued == [real]
+
+    def test_factory_requires_trace(self):
+        with pytest.raises(ValueError):
+            build_issue_queue("critical-oracle", MEDIUM)
+
+    def test_factory_builds_with_trace(self):
+        queue = build_issue_queue("critical-oracle", MEDIUM, trace=self._trace())
+        assert isinstance(queue, CriticalityOracleQueue)
+        assert queue._criticality[0] > queue._criticality[2]

@@ -1,0 +1,98 @@
+"""Branch predictor tests: gshare learning, BTB behaviour, integration."""
+
+import random
+
+from repro.config import BranchPredictorConfig
+from repro.cpu.branch import BranchTargetBuffer, BranchUnit, GsharePredictor
+
+
+class TestGshare:
+    def test_learns_constant_direction(self):
+        gshare = GsharePredictor(history_bits=12, pht_entries=4096)
+        pc = 0x4000
+        for _ in range(8):
+            gshare.update(pc, True)
+        assert gshare.predict(pc)
+
+    def test_learns_not_taken(self):
+        gshare = GsharePredictor(history_bits=12, pht_entries=4096)
+        pc = 0x4000
+        for _ in range(8):
+            gshare.update(pc, False)
+        assert not gshare.predict(pc)
+
+    def test_two_bit_hysteresis(self):
+        gshare = GsharePredictor(history_bits=0, pht_entries=16)
+        pc = 0x40
+        for _ in range(4):
+            gshare.update(pc, True)
+        # One contrary outcome must not flip a saturated counter.
+        gshare.update(pc, False)
+        assert gshare.predict(pc)
+
+    def test_history_length_bounded(self):
+        gshare = GsharePredictor(history_bits=4, pht_entries=64)
+        for i in range(100):
+            gshare.update(4 * i, i % 2 == 0)
+        assert gshare.history < 16
+
+
+class TestBtb:
+    def test_hit_after_insert(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        btb.insert(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_miss_without_insert(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        assert btb.lookup(0x1234) is None
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.insert(0x0, 0xA)
+        btb.insert(0x4, 0xB)
+        btb.lookup(0x0)          # refresh 0x0 -> 0x4 becomes LRU
+        btb.insert(0x8, 0xC)     # evicts 0x4
+        assert btb.lookup(0x0) == 0xA
+        assert btb.lookup(0x4) is None
+        assert btb.lookup(0x8) == 0xC
+
+    def test_update_existing_entry(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        btb.insert(0x1000, 0x2000)
+        btb.insert(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+
+class TestBranchUnit:
+    def _unit(self):
+        return BranchUnit(BranchPredictorConfig())
+
+    def test_biased_branch_becomes_predictable(self):
+        unit = self._unit()
+        pc = 0x5000
+        for _ in range(20):
+            unit.predict(pc, taken=True, target=0x6000)
+        correct = sum(unit.predict(pc, True, 0x6000) for _ in range(50))
+        assert correct >= 48
+
+    def test_wrong_target_counts_as_mispredict(self):
+        unit = self._unit()
+        pc = 0x5000
+        for _ in range(10):
+            unit.predict(pc, taken=True, target=0x6000)
+        before = unit.mispredicts
+        assert not unit.predict(pc, taken=True, target=0x7000)
+        assert unit.mispredicts == before + 1
+
+    def test_random_branches_mispredict_often(self):
+        unit = self._unit()
+        rng = random.Random(7)
+        pc = 0x5000
+        for _ in range(400):
+            unit.predict(pc, taken=rng.random() < 0.5, target=0x6000)
+        # A random stream should hover near 50% mispredicts.
+        assert 0.3 < unit.mispredict_rate < 0.7
+
+    def test_mispredict_rate_zero_without_lookups(self):
+        assert self._unit().mispredict_rate == 0.0

@@ -1,0 +1,122 @@
+"""Tests for the circular queues: CIRC, CIRC-PPRI, and their geometry."""
+
+import pytest
+
+from repro.core.circ import CircularQueue, CircularQueuePerfectPriority
+
+from conftest import AlwaysFreeFuPool, make_inst
+
+
+def fill(queue, count, start_seq=0):
+    insts = [make_inst(seq=start_seq + i) for i in range(count)]
+    for inst in insts:
+        queue.dispatch(inst)
+    return insts
+
+
+def issue(queue, insts):
+    for inst in insts:
+        queue.wakeup(inst)
+    return queue.select(AlwaysFreeFuPool(), 0)
+
+
+class TestCircularGeometry:
+    def test_dispatch_at_tail(self):
+        q = CircularQueue(4, 4)
+        insts = fill(q, 3)
+        assert [i.iq_slot for i in insts] == [0, 1, 2]
+        assert q.region_length == 3
+
+    def test_full_when_region_reaches_size(self):
+        q = CircularQueue(4, 4)
+        fill(q, 4)
+        assert not q.can_dispatch()
+        with pytest.raises(RuntimeError):
+            q.dispatch(make_inst(seq=9))
+
+    def test_interior_hole_not_reclaimed(self):
+        q = CircularQueue(4, 4)
+        insts = fill(q, 4)
+        issue(q, [insts[2]])                 # hole at slot 2
+        assert q.occupancy == 3
+        assert q.holes == 1
+        assert not q.can_dispatch()          # capacity inefficiency
+
+    def test_head_advances_past_leading_holes(self):
+        q = CircularQueue(4, 4)
+        insts = fill(q, 4)
+        issue(q, [insts[0], insts[1]])
+        assert q.head_slot == 2
+        assert q.can_dispatch()
+
+    def test_tail_rollback_over_trailing_holes(self):
+        q = CircularQueue(4, 4)
+        insts = fill(q, 4)
+        issue(q, [insts[3]])                 # youngest leaves -> tail rewinds
+        assert q.region_length == 3
+        assert q.can_dispatch()
+
+    def test_wraparound_flag_set_at_dispatch(self):
+        q = CircularQueue(4, 4)
+        insts = fill(q, 4)
+        issue(q, [insts[0], insts[1]])       # head -> slot 2
+        wrapped = fill(q, 2, start_seq=10)   # slots 0 and 1 again
+        assert [i.iq_slot for i in wrapped] == [0, 1]
+        assert all(i.reverse_flag for i in wrapped)
+        assert q.spans_wraparound
+
+    def test_spans_clears_when_head_wraps(self):
+        q = CircularQueue(4, 4)
+        insts = fill(q, 4)
+        issue(q, insts[:2])
+        wrapped = fill(q, 2, start_seq=10)
+        issue(q, insts[2:])                  # head crosses the boundary
+        assert q.head_slot == 0
+        assert not q.spans_wraparound
+        assert all(i.reverse_flag for i in wrapped)  # flags stay; signal gates
+
+    def test_empty_queue_resets_cleanly(self):
+        q = CircularQueue(4, 4)
+        insts = fill(q, 2)
+        issue(q, insts)
+        assert q.occupancy == 0
+        assert q.region_length == 0
+        fill(q, 4, start_seq=5)
+        assert q.is_full
+
+
+class TestCircPriorities:
+    def test_conventional_priority_reverses_on_wrap(self):
+        q = CircularQueue(4, 4)
+        insts = fill(q, 4)
+        issue(q, insts[:2])
+        young = fill(q, 2, start_seq=10)     # slots 0, 1 (wrapped)
+        for inst in young + insts[2:]:
+            q.wakeup(inst)
+        issued = q.select(AlwaysFreeFuPool(), 0)
+        # Position order: the *young wrapped* instructions win -- the bug.
+        assert [i.seq for i in issued[:2]] == [10, 11]
+
+    def test_ppri_keeps_age_order_across_wrap(self):
+        q = CircularQueuePerfectPriority(4, 4)
+        insts = fill(q, 4)
+        issue(q, insts[:2])
+        young = fill(q, 2, start_seq=10)
+        for inst in young + insts[2:]:
+            q.wakeup(inst)
+        issued = q.select(AlwaysFreeFuPool(), 0)
+        assert [i.seq for i in issued[:2]] == [2, 3]
+
+    def test_ppri_rank_is_age_rank(self):
+        q = CircularQueuePerfectPriority(8, 4)
+        insts = fill(q, 3)
+        assert [q.priority_rank(i) for i in insts] == [0, 1, 2]
+
+    def test_flush_resets_pointers(self):
+        q = CircularQueue(4, 4)
+        fill(q, 3)
+        q.flush()
+        assert q.region_length == 0
+        assert q.head_slot == 0
+        insts = fill(q, 4, start_seq=20)
+        assert not any(i.reverse_flag for i in insts)

@@ -1,0 +1,124 @@
+"""Tests for CIRC-PC: the two-select, time-sliced priority correction."""
+
+from repro.core.circ_pc import CircPCQueue
+
+from conftest import AlwaysFreeFuPool, LimitedFuPool, make_inst
+
+
+def fill(queue, count, start_seq=0):
+    insts = [make_inst(seq=start_seq + i) for i in range(count)]
+    for inst in insts:
+        queue.dispatch(inst)
+    return insts
+
+
+def make_wrapped_queue(size=4, issue_width=4):
+    """Queue with NR instructions at the top and RV at the bottom."""
+    q = CircPCQueue(size, issue_width)
+    old = fill(q, size)
+    for inst in old[: size // 2]:
+        q.wakeup(inst)
+    fu = AlwaysFreeFuPool()
+    for cycle in range(-10, 0):               # issue the oldest half
+        if q.occupancy <= size - size // 2:
+            break
+        q.select(fu, cycle)
+    young = fill(q, size // 2, start_seq=10)  # wrapped: RV instructions
+    return q, old[size // 2:], young
+
+
+class TestCircPcPriorityCorrection:
+    def test_corrected_order_is_age_order(self):
+        q, old, young = make_wrapped_queue()
+        for inst in old + young:
+            q.wakeup(inst)
+        ordered = q.ordered_ready()
+        assert [i.seq for i in ordered] == [2, 3, 10, 11]
+
+    def test_rv_instruction_issues_one_cycle_late(self):
+        q, old, young = make_wrapped_queue()
+        for inst in young:
+            q.wakeup(inst)
+        fu = AlwaysFreeFuPool()
+        first = q.select(fu, 0)    # S_RV selects; nothing issues yet
+        assert first == []
+        second = q.select(fu, 1)   # pending RV grants issue via the DTM
+        assert [i.seq for i in second] == [10, 11]
+
+    def test_nr_instruction_issues_same_cycle(self):
+        q, old, young = make_wrapped_queue()
+        q.wakeup(old[0])
+        issued = q.select(AlwaysFreeFuPool(), 0)
+        assert [i.seq for i in issued] == [old[0].seq]
+
+    def test_nr_displaces_pending_rv(self):
+        q, old, young = make_wrapped_queue(size=4, issue_width=1)
+        for inst in young:
+            q.wakeup(inst)
+        fu = AlwaysFreeFuPool()
+        q.select(fu, 0)            # RV #10 pending
+        q.wakeup(old[0])           # older NR instruction appears
+        issued = q.select(fu, 1)
+        # The NR instruction takes the single port; the RV grant is
+        # discarded (the instruction stays queued and retries).
+        assert [i.seq for i in issued] == [old[0].seq]
+        issued = q.select(fu, 2)
+        assert [i.seq for i in issued] == [10]
+
+    def test_discarded_rv_not_lost(self):
+        q, old, young = make_wrapped_queue(size=4, issue_width=1)
+        for inst in old + young:
+            q.wakeup(inst)
+        fu = AlwaysFreeFuPool()
+        seqs = []
+        for cycle in range(6):
+            seqs.extend(i.seq for i in q.select(fu, cycle))
+        assert sorted(seqs) == [2, 3, 10, 11]
+        assert q.occupancy == 0
+
+    def test_fu_conflict_discards_rv_grant(self):
+        q, old, young = make_wrapped_queue(size=4, issue_width=4)
+        for inst in young:
+            q.wakeup(inst)
+        q.select(AlwaysFreeFuPool(), 0)   # both RV pending
+        fu = LimitedFuPool(1)
+        issued = q.select(fu, 1)
+        assert len(issued) == 1           # second grant lost to the FU limit
+        fu.reset()
+        issued = q.select(fu, 2)
+        assert len(issued) == 1           # reselected and issued next cycle
+
+    def test_unwrapped_queue_behaves_like_ppri(self):
+        q = CircPCQueue(8, 4)
+        insts = fill(q, 4)
+        for inst in insts:
+            q.wakeup(inst)
+        issued = q.select(AlwaysFreeFuPool(), 0)
+        assert [i.seq for i in issued] == [0, 1, 2, 3]
+
+    def test_rv_select_stats_counted(self):
+        q, old, young = make_wrapped_queue()
+        for inst in young:
+            q.wakeup(inst)
+        q.select(AlwaysFreeFuPool(), 0)
+        assert q.stats.iq_select_rv_ops == 1
+        assert q.stats.iq_tag_ram_rv_reads == len(young)
+
+    def test_flush_clears_pending(self):
+        q, old, young = make_wrapped_queue()
+        for inst in young:
+            q.wakeup(inst)
+        q.select(AlwaysFreeFuPool(), 0)
+        q.flush()
+        assert q.select(AlwaysFreeFuPool(), 1) == []
+        assert q.occupancy == 0
+
+    def test_evicted_pending_rv_skipped(self):
+        q, old, young = make_wrapped_queue()
+        for inst in young:
+            q.wakeup(inst)
+        q.select(AlwaysFreeFuPool(), 0)
+        young[0].squashed = True
+        q.evict(young[0])
+        issued = q.select(AlwaysFreeFuPool(), 1)
+        assert [i.seq for i in issued] == [11]

@@ -1,0 +1,129 @@
+"""Configuration tests: the paper's Tables 2, 3, and 4 are encoded exactly."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    LARGE,
+    MEDIUM,
+    BranchPredictorConfig,
+    CacheConfig,
+    ProcessorConfig,
+    SwqueParams,
+    scaled_iq_config,
+)
+
+
+class TestTable2MediumProcessor:
+    def test_pipeline_width(self):
+        assert MEDIUM.width == 6
+        assert MEDIUM.issue_width == 6
+
+    def test_window_structures(self):
+        assert MEDIUM.rob_entries == 256
+        assert MEDIUM.iq_entries == 128
+        assert MEDIUM.lsq_entries == 128
+        assert MEDIUM.int_regs == 256
+        assert MEDIUM.fp_regs == 256
+
+    def test_function_units(self):
+        assert MEDIUM.num_ialu == 3
+        assert MEDIUM.num_imult == 1
+        assert MEDIUM.num_ldst == 2
+        assert MEDIUM.num_fpu == 2
+
+    def test_branch_predictor(self):
+        assert MEDIUM.branch.history_bits == 12
+        assert MEDIUM.branch.pht_entries == 4096
+        assert MEDIUM.branch.btb_sets == 2048
+        assert MEDIUM.branch.btb_ways == 4
+        assert MEDIUM.branch.mispredict_penalty == 10
+
+    def test_caches(self):
+        assert MEDIUM.l1i.size_bytes == 32 * 1024
+        assert MEDIUM.l1i.associativity == 8
+        assert MEDIUM.l1d.size_bytes == 32 * 1024
+        assert MEDIUM.l1d.associativity == 8
+        assert MEDIUM.l1d.hit_latency == 2
+        assert MEDIUM.l1d.ports == 2
+        assert MEDIUM.l2.size_bytes == 2 * 1024 * 1024
+        assert MEDIUM.l2.associativity == 16
+        assert MEDIUM.l2.hit_latency == 12
+
+    def test_memory(self):
+        assert MEDIUM.memory_latency == 300
+        assert MEDIUM.memory_bytes_per_cycle == 8
+
+    def test_prefetcher(self):
+        assert MEDIUM.prefetch.streams == 32
+        assert MEDIUM.prefetch.distance == 16
+        assert MEDIUM.prefetch.degree == 2
+
+    def test_fu_counts_mapping(self):
+        assert MEDIUM.fu_counts == {"ialu": 3, "imult": 1, "ldst": 2, "fpu": 2}
+
+
+class TestTable3SwqueParams:
+    def test_defaults(self):
+        params = SwqueParams()
+        assert params.switch_interval == 10_000
+        assert params.switch_penalty == 10
+        assert params.mpki_threshold == 1.0
+        assert params.flpi_threshold == 0.04
+        assert params.instability_threshold == 2
+        assert params.flpi_threshold_reduction == 0.01
+        assert params.instability_reset_interval == 1_000_000
+
+
+class TestTable4LargeProcessor:
+    def test_scaled_parameters(self):
+        assert LARGE.width == 8
+        assert LARGE.issue_width == 8
+        assert LARGE.iq_entries == 256
+        assert LARGE.lsq_entries == 256
+        assert LARGE.rob_entries == 512
+        assert LARGE.int_regs == 512
+        assert LARGE.fp_regs == 512
+        assert LARGE.num_ialu == 4
+        assert LARGE.num_fpu == 3
+
+    def test_unscaled_parameters_stay_default(self):
+        assert LARGE.num_imult == MEDIUM.num_imult
+        assert LARGE.num_ldst == MEDIUM.num_ldst
+        assert LARGE.l2 == MEDIUM.l2
+        assert LARGE.branch == MEDIUM.branch
+
+
+class TestValidation:
+    def test_cache_geometry_must_divide(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3, line_bytes=64)
+
+    def test_cache_num_sets(self):
+        cache = CacheConfig(size_bytes=32 * 1024, associativity=8, line_bytes=64)
+        assert cache.num_sets == 64
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(width=0)
+
+    def test_iq_smaller_than_issue_width_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(iq_entries=4, issue_width=6)
+
+    def test_configs_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MEDIUM.width = 8
+
+
+class TestScaledIqConfig:
+    def test_table6_growth(self):
+        grown = scaled_iq_config(MEDIUM, 150)
+        assert grown.iq_entries == 150
+        assert grown.rob_entries == MEDIUM.rob_entries
+        assert "iq150" in grown.name
+
+    def test_rejects_tiny_queue(self):
+        with pytest.raises(ValueError):
+            scaled_iq_config(MEDIUM, 2)

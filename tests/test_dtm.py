@@ -1,0 +1,95 @@
+"""Tests for the destination tag multiplexer logic (Figure 6 / Table 1)."""
+
+import pytest
+
+from repro.core.dtm import final_grants, merge_tags, surviving_rv_count
+
+
+class TestTable1Examples:
+    def test_example_a(self):
+        """Table 1(a): two valid NR tags, three valid RV tags, IW=4."""
+        merged = merge_tags(["NR0", "NR1"], ["RV0", "RV1", "RV2"], 4)
+        # NR tags win on the left; RV0/RV1 fill from the right; RV2 is
+        # discarded.
+        assert merged == ["NR0", "NR1", "RV1", "RV0"]
+
+    def test_example_b(self):
+        """Table 1(b): one valid NR tag, two valid RV tags, IW=4."""
+        merged = merge_tags(["NR0"], ["RV0", "RV1"], 4)
+        # The second MUX from the left outputs a bogus tag.
+        assert merged == ["NR0", None, "RV1", "RV0"]
+
+
+class TestMergeProperties:
+    def test_all_nr(self):
+        assert merge_tags(["a", "b"], [], 2) == ["a", "b"]
+
+    def test_all_rv(self):
+        assert merge_tags([], ["a", "b"], 2) == ["b", "a"]
+
+    def test_empty(self):
+        assert merge_tags([], [], 3) == [None, None, None]
+
+    def test_full_nr_discards_all_rv(self):
+        merged = merge_tags(["n0", "n1"], ["r0", "r1"], 2)
+        assert merged == ["n0", "n1"]
+
+    def test_too_many_tags_rejected(self):
+        with pytest.raises(ValueError):
+            merge_tags(["a", "b", "c"], [], 2)
+
+    def test_misaligned_tags_rejected(self):
+        with pytest.raises(ValueError):
+            merge_tags(["a", None, "b"], [], 4)
+
+    def test_none_padding_is_alignment(self):
+        # Trailing bogus entries are fine -- that's normal alignment.
+        assert merge_tags(["a", None], [], 2) == ["a", None]
+
+
+class TestFinalGrants:
+    def test_matches_formula(self):
+        """grant_final_i = V_i ? grant_NR_i : grant_RV_{IW-1-i}."""
+        iw = 4
+        nr = ["gN0", "gN1", None, None]
+        rv = ["gR0", "gR1", "gR2", None]
+        grants = final_grants([g for g in nr if g], [g for g in rv if g], iw)
+        for i in range(iw):
+            expected = nr[i] if nr[i] is not None else rv[iw - 1 - i]
+            assert grants[i] == expected
+
+
+class TestSurvivingRvCount:
+    @pytest.mark.parametrize(
+        "num_nr,num_rv,iw,expected",
+        [
+            (2, 3, 4, 2),   # Table 1(a)
+            (1, 2, 4, 2),   # Table 1(b)
+            (4, 4, 4, 0),
+            (0, 4, 4, 4),
+            (0, 0, 4, 0),
+            (3, 1, 4, 1),
+        ],
+    )
+    def test_counts(self, num_nr, num_rv, iw, expected):
+        assert surviving_rv_count(num_nr, num_rv, iw) == expected
+
+    def test_agrees_with_merge(self):
+        iw = 6
+        for num_nr in range(iw + 1):
+            for num_rv in range(iw + 1):
+                merged = merge_tags(
+                    [f"n{i}" for i in range(num_nr)],
+                    [f"r{i}" for i in range(num_rv)],
+                    iw,
+                )
+                survivors = sum(
+                    1 for tag in merged if tag is not None and tag.startswith("r")
+                )
+                assert survivors == surviving_rv_count(num_nr, num_rv, iw)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            surviving_rv_count(5, 0, 4)
+        with pytest.raises(ValueError):
+            surviving_rv_count(0, -1, 4)

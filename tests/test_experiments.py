@@ -1,0 +1,85 @@
+"""Smoke tests for the experiment harness (small instruction budgets).
+
+Full-scale shape checks live in benchmarks/; here we verify that every
+experiment function runs, returns the documented structure, and that the
+analytic (simulation-free) ones reproduce the paper's numbers exactly.
+"""
+
+import pytest
+
+from repro.sim import experiments
+
+#: A fast, representative subset: one m-ILP INT, one MLP, one r-ILP FP.
+SUBSET = ["exchange2", "xz", "bwaves"]
+N = 12_000
+
+
+class TestSimulationExperiments:
+    def test_figure8_structure(self):
+        out = experiments.figure8(num_instructions=N, programs=SUBSET)
+        assert set(out) == {"GM int", "GM fp"}
+        assert set(out["GM int"]) == {"circ", "rand", "age", "swque"}
+
+    def test_figure9_structure(self):
+        out = experiments.figure9(num_instructions=N, programs=["exchange2"],
+                                  include_large=False)
+        entry = out["programs"]["exchange2"]
+        assert entry["class"] == "m-ILP"
+        assert "medium" in entry
+        assert "int-medium" in out["geomean"]
+
+    def test_figure10_structure(self):
+        out = experiments.figure10(num_instructions=N, programs=["xz"])
+        assert out["xz"]["class"] == "MLP"
+        assert out["xz"]["circ-pc"] + out["xz"]["age"] == pytest.approx(1.0)
+
+    def test_figure11_structure(self):
+        out = experiments.figure11(num_instructions=N, programs=["exchange2"])
+        assert set(out["GM int"]) == {"circ-conv", "circ-ppri", "circ-pc"}
+
+    def test_figure12_structure(self):
+        out = experiments.figure12(num_instructions=N, programs=SUBSET)
+        assert out["relative_energy_geomean"] > 0
+        shares = out["swque_breakdown_shares"]
+        assert set(shares) == {"static_base", "dynamic_base",
+                               "static_swque", "dynamic_swque"}
+        # SWQUE-specific energy must be a small share (Figure 12's story).
+        assert shares["static_swque"] + shares["dynamic_swque"] < 0.1
+
+    def test_figure14_structure(self):
+        out = experiments.figure14(num_instructions=N, programs=["exchange2"],
+                                   include_large=False)
+        assert set(out["int-medium"]) == {"swque-1am", "age-multiam",
+                                          "swque-multiam"}
+
+    def test_section48_structure(self):
+        out = experiments.section48(num_instructions=N, programs=["exchange2"],
+                                    penalties=(10, 40))
+        assert "degradation_at_40" in out
+        assert out["switches_per_mcycle_mean"] >= 0
+
+
+class TestAnalyticExperiments:
+    def test_figure13_shares(self):
+        out = experiments.figure13()
+        assert out["extra_select (S_RV)"] == pytest.approx(0.17, abs=1e-3)
+        assert out["age_matrix"] == pytest.approx(0.29, abs=1e-3)
+
+    def test_table5_contents(self):
+        out = experiments.table5()
+        assert out["age_matrix"] == 1.708
+
+    def test_section47_paper_numbers(self):
+        out = experiments.section47()
+        assert out["dtm_overhead"] == pytest.approx(0.013, abs=1e-4)
+        assert out["double_tag_access_fraction"] == pytest.approx(0.66, abs=1e-3)
+        assert out["double_access_fits"] and out["final_grant_fits"]
+
+
+class TestTable6:
+    def test_costs_and_cost_neutral_comparison(self):
+        out = experiments.table6(num_instructions=N, programs=["exchange2"])
+        assert out["additional_area_mm2"] == pytest.approx(0.0029, rel=1e-6)
+        assert out["age_entries_cost_neutral"] == 150
+        assert "swque_vs_age_int" in out
+        assert "age150_vs_age_int" in out

@@ -1,0 +1,169 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.cpu.isa import OpClass
+from repro.workloads.generator import generate_trace
+from repro.workloads.profile import PhaseSpec, WorkloadProfile
+from repro.workloads.spec2017 import (
+    FP_PROGRAMS,
+    INT_PROGRAMS,
+    SPEC2017_PROFILES,
+    get_profile,
+)
+
+
+def profile(**overrides) -> WorkloadProfile:
+    params = dict(instructions=2000)
+    params.update(overrides)
+    return WorkloadProfile(name="t", suite="int", phases=(PhaseSpec(**params),))
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        p = profile()
+        a = generate_trace(p, 3000)
+        b = generate_trace(p, 3000)
+        assert all(
+            (x.op, x.pc, x.dest, x.srcs, x.mem_addr, x.taken) ==
+            (y.op, y.pc, y.dest, y.srcs, y.mem_addr, y.taken)
+            for x, y in zip(a, b)
+        )
+
+    def test_different_seed_different_trace(self):
+        p = profile()
+        a = generate_trace(p, 3000, seed=1)
+        b = generate_trace(p, 3000, seed=2)
+        assert any(x.mem_addr != y.mem_addr or x.taken != y.taken
+                   for x, y in zip(a, b))
+
+    def test_exact_length(self):
+        assert len(generate_trace(profile(), 1234)) == 1234
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_trace(profile(), 0)
+
+
+class TestComposition:
+    def test_op_mix_tracks_fractions(self):
+        p = profile(load_fraction=0.3, store_fraction=0.1, branch_fraction=0.1,
+                    branch_slice_depth=0, critical_chains=0)
+        trace = generate_trace(p, 20000)
+        mix = trace.mix()
+        n = len(trace)
+        assert abs(mix[OpClass.LOAD] / n - 0.3) < 0.05
+        assert abs(mix[OpClass.STORE] / n - 0.1) < 0.04
+
+    def test_fp_fraction_produces_fp_ops(self):
+        p = profile(fp_fraction=0.6, branch_slice_depth=0)
+        trace = generate_trace(p, 10000)
+        mix = trace.mix()
+        fp_ops = sum(mix.get(op, 0) for op in
+                     (OpClass.FPADD, OpClass.FPMUL, OpClass.FPDIV))
+        assert fp_ops > 0.2 * len(trace)
+
+    def test_branch_slices_precede_branches(self):
+        p = profile(branch_fraction=0.1, branch_slice_depth=3,
+                    random_branch_fraction=0.0)
+        trace = generate_trace(p, 5000)
+        insts = list(trace)
+        for i, inst in enumerate(insts):
+            if inst.is_branch and inst.srcs and 24 <= inst.srcs[0] <= 29:
+                # Preceding instruction continues the slice register chain.
+                prev = insts[i - 1]
+                assert prev.dest == inst.srcs[0]
+
+    def test_pointer_pattern_chains_loads(self):
+        p = profile(memory_pattern="pointer", load_fraction=0.3,
+                    critical_chains=0, branch_slice_depth=0)
+        trace = generate_trace(p, 5000)
+        loads = [i for i in trace if i.is_load]
+        chained = [l for l in loads if l.srcs and l.srcs[0] == l.dest]
+        assert len(chained) > 0.8 * len(loads)
+
+    def test_stream_pattern_is_sequential(self):
+        p = profile(memory_pattern="stream", load_fraction=0.3,
+                    critical_chains=0, branch_slice_depth=0, store_fraction=0.0,
+                    footprint_bytes=1024 * 1024)
+        trace = generate_trace(p, 5000)
+        addrs = [i.mem_addr for i in trace if i.is_load]
+        # Sequential streams advance by one word; most gaps between sorted
+        # unique addresses are exactly 8 bytes.
+        unique = sorted(set(addrs))
+        gaps = [b - a for a, b in zip(unique, unique[1:])]
+        assert gaps.count(8) > 0.8 * len(gaps)
+
+    def test_sparse_pattern_never_revisits_cold_lines(self):
+        p = profile(memory_pattern="sparse", sparse_load_fraction=1.0,
+                    load_fraction=0.3, critical_chains=0, branch_slice_depth=0)
+        trace = generate_trace(p, 5000)
+        lines = [i.mem_addr >> 6 for i in trace if i.is_load]
+        assert len(lines) == len(set(lines))
+
+    def test_footprint_respected(self):
+        p = profile(memory_pattern="random", footprint_bytes=4096,
+                    load_fraction=0.3, critical_chains=0, branch_slice_depth=0)
+        trace = generate_trace(p, 5000)
+        addrs = [i.mem_addr for i in trace if i.is_load or i.is_store]
+        assert max(addrs) - min(addrs) < 4096
+
+    def test_phases_cycle(self):
+        a = PhaseSpec(instructions=100, branch_fraction=0.0, load_fraction=0.0,
+                      store_fraction=0.0, branch_slice_depth=0)
+        b = PhaseSpec(instructions=100, fp_fraction=1.0, branch_fraction=0.0,
+                      load_fraction=0.0, store_fraction=0.0, branch_slice_depth=0,
+                      critical_chains=0)
+        p = WorkloadProfile(name="t", suite="int", phases=(a, b))
+        trace = generate_trace(p, 600)
+        # FP ops only appear in the b-phase windows.
+        fp_positions = [i.seq for i in trace if i.op in
+                        (OpClass.FPADD, OpClass.FPMUL, OpClass.FPDIV)]
+        assert fp_positions
+        assert all(
+            (seq - 1) % 200 >= 100 for seq in fp_positions
+        ), "FP ops leaked into the integer phase"
+
+
+class TestSpec2017Profiles:
+    def test_all_programs_present(self):
+        assert len(INT_PROGRAMS) == 9   # SPEC2017 INT minus gcc
+        assert len(FP_PROGRAMS) == 9    # SPEC2017 FP minus wrf
+        assert "gcc" not in SPEC2017_PROFILES
+        assert "wrf" not in SPEC2017_PROFILES
+
+    def test_classification_labels(self):
+        assert get_profile("deepsjeng").classification == "m-ILP"
+        assert get_profile("bwaves").classification == "r-ILP"
+        assert get_profile("omnetpp").classification == "MLP"
+
+    def test_every_profile_generates(self):
+        for name in SPEC2017_PROFILES:
+            trace = generate_trace(get_profile(name), 500)
+            assert len(trace) == 500
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(KeyError):
+            get_profile("gcc")
+
+    def test_mlp_programs_marked(self):
+        mlp = [n for n, p in SPEC2017_PROFILES.items() if p.mlp]
+        assert set(mlp) == {"omnetpp", "xz", "lbm", "fotonik3d"}
+
+
+class TestProfileValidation:
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(memory_pattern="nonsense")
+
+    def test_fraction_budget_enforced(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(load_fraction=0.5, store_fraction=0.3, branch_fraction=0.2)
+
+    def test_critical_chains_bounded(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(parallel_chains=2, critical_chains=3)
+
+    def test_suite_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", suite="vector", phases=(PhaseSpec(),))

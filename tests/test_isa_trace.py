@@ -1,0 +1,102 @@
+"""Tests for the micro-op tables and the trace containers."""
+
+import pytest
+
+from repro.cpu.isa import (
+    FP_OPS,
+    MEMORY_OPS,
+    OP_FU,
+    OP_LATENCY,
+    UNPIPELINED,
+    FuClass,
+    OpClass,
+    is_fp_op,
+    is_memory_op,
+)
+from repro.cpu.trace import (
+    NUM_INT_ARCH_REGS,
+    Trace,
+    TraceInstruction,
+    is_fp_reg,
+)
+
+
+class TestIsaTables:
+    def test_every_op_has_latency_and_fu(self):
+        for op in OpClass:
+            assert op in OP_LATENCY
+            assert op in OP_FU
+
+    def test_latencies_positive(self):
+        assert all(lat >= 1 for lat in OP_LATENCY.values())
+
+    def test_divides_are_unpipelined_and_slow(self):
+        assert OpClass.IDIV in UNPIPELINED
+        assert OpClass.FPDIV in UNPIPELINED
+        assert OP_LATENCY[OpClass.IDIV] > OP_LATENCY[OpClass.IMUL]
+
+    def test_memory_op_classification(self):
+        assert is_memory_op(OpClass.LOAD)
+        assert is_memory_op(OpClass.STORE)
+        assert not is_memory_op(OpClass.IALU)
+        assert MEMORY_OPS == {OpClass.LOAD, OpClass.STORE}
+
+    def test_fp_op_classification(self):
+        assert is_fp_op(OpClass.FPMUL)
+        assert not is_fp_op(OpClass.LOAD)
+        assert all(OP_FU[op] is FuClass.FPU for op in FP_OPS)
+
+    def test_memory_ops_use_ldst_units(self):
+        assert OP_FU[OpClass.LOAD] is FuClass.LDST
+        assert OP_FU[OpClass.STORE] is FuClass.LDST
+
+    def test_branches_use_alu(self):
+        assert OP_FU[OpClass.BRANCH] is FuClass.IALU
+
+
+class TestTraceInstruction:
+    def test_fields(self):
+        inst = TraceInstruction(0, OpClass.LOAD, pc=0x1000, dest=3, srcs=(1, 2),
+                                mem_addr=0x2000)
+        assert inst.is_load and not inst.is_store and not inst.is_branch
+        assert inst.dest == 3
+        assert inst.srcs == (1, 2)
+
+    def test_branch_flags(self):
+        inst = TraceInstruction(0, OpClass.BRANCH, pc=0x1000, taken=True, target=0x40)
+        assert inst.is_branch
+        assert inst.taken
+        assert inst.target == 0x40
+
+    def test_fp_register_namespace(self):
+        assert not is_fp_reg(NUM_INT_ARCH_REGS - 1)
+        assert is_fp_reg(NUM_INT_ARCH_REGS)
+
+
+class TestTrace:
+    def _insts(self, n):
+        return [TraceInstruction(i, OpClass.IALU, pc=4 * i, dest=1) for i in range(n)]
+
+    def test_length_and_indexing(self):
+        trace = Trace(self._insts(5), name="t")
+        assert len(trace) == 5
+        assert trace[3].seq == 3
+        assert trace.name == "t"
+
+    def test_iteration_order(self):
+        trace = Trace(self._insts(4))
+        assert [i.seq for i in trace] == [0, 1, 2, 3]
+
+    def test_rejects_bad_sequence_numbers(self):
+        insts = self._insts(3)
+        insts[1] = TraceInstruction(7, OpClass.IALU, pc=4, dest=1)
+        with pytest.raises(ValueError):
+            Trace(insts)
+
+    def test_mix_histogram(self):
+        insts = self._insts(3)
+        insts.append(TraceInstruction(3, OpClass.LOAD, pc=12, dest=1, mem_addr=8))
+        trace = Trace(insts)
+        mix = trace.mix()
+        assert mix[OpClass.IALU] == 3
+        assert mix[OpClass.LOAD] == 1

@@ -1,0 +1,208 @@
+"""Tests for the memory hierarchy: cache, MSHRs, DRAM, prefetch, wiring."""
+
+import pytest
+
+from repro.config import MEDIUM, CacheConfig
+from repro.cpu.stats import PipelineStats
+from repro.memory.cache import Cache
+from repro.memory.dram import DramChannel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mshr import MshrFile
+from repro.memory.prefetch import StreamPrefetcher
+
+
+def small_cache(sets=4, ways=2):
+    return Cache(CacheConfig(size_bytes=sets * ways * 64, associativity=ways))
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert not c.lookup(5)
+        c.fill(5)
+        assert c.lookup(5)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction(self):
+        c = small_cache(sets=1, ways=2)
+        c.fill(0)
+        c.fill(1)
+        c.lookup(0)      # 1 becomes LRU
+        c.fill(2)        # evicts 1
+        assert c.contains(0)
+        assert not c.contains(1)
+        assert c.contains(2)
+        assert c.evictions == 1
+
+    def test_sets_are_independent(self):
+        c = small_cache(sets=4, ways=1)
+        c.fill(0)
+        c.fill(1)   # different set
+        assert c.contains(0) and c.contains(1)
+
+    def test_contains_does_not_touch_lru(self):
+        c = small_cache(sets=1, ways=2)
+        c.fill(0)
+        c.fill(1)
+        c.contains(0)    # must NOT refresh line 0
+        c.fill(2)        # evicts 0 (still LRU)
+        assert not c.contains(0)
+
+    def test_occupancy_and_invalidate(self):
+        c = small_cache()
+        c.fill(1)
+        c.fill(2)
+        assert c.occupancy() == 2
+        c.invalidate_all()
+        assert c.occupancy() == 0
+
+    def test_miss_rate(self):
+        c = small_cache()
+        c.lookup(1)
+        c.fill(1)
+        c.lookup(1)
+        assert c.miss_rate == 0.5
+
+
+class TestMshrFile:
+    def test_merge_returns_existing_completion(self):
+        mshr = MshrFile(4)
+        mshr.allocate(7, completion=100, cycle=0)
+        assert mshr.lookup(7, 10) == 100
+        assert mshr.merges == 1
+
+    def test_completed_fill_not_merged(self):
+        mshr = MshrFile(4)
+        mshr.allocate(7, completion=100, cycle=0)
+        assert mshr.lookup(7, 150) is None
+
+    def test_earliest_free_when_full(self):
+        mshr = MshrFile(2)
+        mshr.allocate(1, completion=50, cycle=0)
+        mshr.allocate(2, completion=80, cycle=0)
+        assert mshr.earliest_free(10) == 50
+        assert mshr.full_stalls == 1
+
+    def test_prune_frees_capacity(self):
+        mshr = MshrFile(2)
+        mshr.allocate(1, completion=50, cycle=0)
+        mshr.allocate(2, completion=80, cycle=0)
+        assert mshr.earliest_free(60) == 60  # line 1 finished
+        mshr.allocate(3, completion=90, cycle=60)
+        assert mshr.outstanding(60) == 2
+
+    def test_over_allocation_rejected(self):
+        mshr = MshrFile(1)
+        mshr.allocate(1, completion=50, cycle=0)
+        with pytest.raises(RuntimeError):
+            mshr.allocate(2, completion=60, cycle=0)
+
+
+class TestDramChannel:
+    def test_fixed_latency(self):
+        dram = DramChannel(latency=300, bytes_per_cycle=8)
+        assert dram.request(0) == 300
+
+    def test_bandwidth_serializes_transfers(self):
+        dram = DramChannel(latency=300, bytes_per_cycle=8)  # 8 cycles / line
+        first = dram.request(0)
+        second = dram.request(0)
+        assert first == 300
+        assert second == 308  # queued behind the first transfer
+
+    def test_idle_channel_no_queue_delay(self):
+        dram = DramChannel(latency=300, bytes_per_cycle=8)
+        dram.request(0)
+        assert dram.queue_delay(100) == 0   # transfer long finished
+        assert dram.request(100) == 400
+
+    def test_utilization(self):
+        dram = DramChannel(latency=300, bytes_per_cycle=8)
+        dram.request(0)
+        assert dram.utilization(80) == 0.1
+
+
+class TestStreamPrefetcher:
+    def _collect(self):
+        fills = []
+        pf = StreamPrefetcher(4, distance=16, degree=2,
+                              issue_fill=lambda line, cycle: fills.append(line))
+        return pf, fills
+
+    def test_ascending_stream_detected(self):
+        pf, fills = self._collect()
+        for line in (100, 101, 102):
+            pf.observe(line, 0)
+        assert fills == [118, 119]  # 102 + 16, +17
+
+    def test_descending_stream_detected(self):
+        pf, fills = self._collect()
+        for line in (200, 199, 198):
+            pf.observe(line, 0)
+        assert fills == [182, 181]
+
+    def test_random_accesses_do_not_prefetch(self):
+        pf, fills = self._collect()
+        for line in (10, 500, 90, 7000):
+            pf.observe(line, 0)
+        assert fills == []
+
+    def test_stream_table_lru_replacement(self):
+        pf, fills = self._collect()
+        for base in (1000, 2000, 3000, 4000, 5000):  # 5 streams, 4 entries
+            pf.observe(base, base)
+        assert pf.streams_allocated == 5
+        assert len(pf._streams) == 4
+
+
+class TestMemoryHierarchy:
+    def _hierarchy(self):
+        return MemoryHierarchy(MEDIUM, PipelineStats())
+
+    def test_l1_hit_latency(self):
+        h = self._hierarchy()
+        h.access_data(0x1000, 0)           # install (fill ~cycle 316)
+        assert h.access_data(0x1000, 1000) == MEDIUM.l1d.hit_latency
+
+    def test_l2_hit_latency(self):
+        h = self._hierarchy()
+        h.access_data(0x1000, 0)
+        # Evict from L1 by filling its set; L1 is 64 sets x 8 ways.
+        for i in range(1, 9):
+            h.access_data(0x1000 + i * 64 * 64, 0)
+        latency = h.access_data(0x1000, 10_000)
+        assert latency == MEDIUM.l1d.hit_latency + MEDIUM.l2.hit_latency
+
+    def test_dram_miss_latency(self):
+        h = self._hierarchy()
+        latency = h.access_data(0x100000, 0)
+        assert latency >= MEDIUM.memory_latency
+        assert h.stats.llc_misses == 1
+
+    def test_mshr_merge_overlaps_misses(self):
+        h = self._hierarchy()
+        first = h.access_data(0x200000, 0)
+        second = h.access_data(0x200008, 5)   # same line
+        assert second == first - 5            # merged completion
+        assert h.stats.llc_misses == 1
+
+    def test_independent_misses_overlap(self):
+        h = self._hierarchy()
+        a = h.access_data(0x300000, 0)
+        b = h.access_data(0x400000, 0)
+        # Latency overlaps; only the transfer slots serialize.
+        assert b < a + MEDIUM.memory_latency
+
+    def test_prefetch_hides_stream_latency(self):
+        h = self._hierarchy()
+        # March an ascending line stream; later lines should be covered.
+        miss_latencies = [h.access_data(0x500000 + i * 64, i * 400) for i in range(24)]
+        assert miss_latencies[-1] < MEDIUM.memory_latency
+        assert h.prefetches > 0
+
+    def test_instruction_fetch_path(self):
+        h = self._hierarchy()
+        cold = h.access_instruction(0x4000, 0)
+        assert cold > MEDIUM.l1i.hit_latency
+        warm = h.access_instruction(0x4000, cold + 1)
+        assert warm == MEDIUM.l1i.hit_latency

@@ -1,0 +1,165 @@
+"""Tests for the delay, area, and energy models (calibration + scaling)."""
+
+import pytest
+
+from repro.config import LARGE, MEDIUM
+from repro.cpu.stats import PipelineStats
+from repro.power.area import (
+    EXTRA_SELECT_AREA_MM2,
+    IqAreaModel,
+    TRANSISTOR_DENSITY,
+)
+from repro.power.delay import IqDelayModel
+from repro.power.energy import EnergyBreakdown, IqEnergyModel
+
+
+class TestDelayCalibration:
+    """The model must reproduce every number Section 4.7 reports."""
+
+    def test_dtm_overhead_is_1_3_percent(self):
+        report = IqDelayModel(MEDIUM).report()
+        assert report.dtm_overhead == pytest.approx(0.013, abs=1e-4)
+
+    def test_double_tag_access_is_66_percent(self):
+        report = IqDelayModel(MEDIUM).report()
+        assert report.double_tag_access_fraction == pytest.approx(0.66, abs=1e-3)
+
+    def test_payload_read_is_43_percent(self):
+        report = IqDelayModel(MEDIUM).report()
+        assert report.payload_fraction == pytest.approx(0.43, abs=1e-3)
+
+    def test_margins_hold(self):
+        report = IqDelayModel(MEDIUM).report()
+        assert report.double_access_fits
+        assert report.final_grant_fits
+
+    def test_larger_queue_is_slower(self):
+        medium = IqDelayModel(MEDIUM).report()
+        large = IqDelayModel(LARGE).report()
+        assert large.critical_path > medium.critical_path
+
+    def test_double_access_still_fits_in_large_queue(self):
+        assert IqDelayModel(LARGE).report().double_access_fits
+
+    def test_multi_age_matrix_penalty_monotonic(self):
+        model = IqDelayModel(MEDIUM)
+        assert model.multi_age_matrix_penalty(1) == 0.0
+        p7 = model.multi_age_matrix_penalty(7)
+        p9 = model.multi_age_matrix_penalty(9)
+        assert 0 < p7 < p9
+
+    def test_invalid_matrix_count_rejected(self):
+        with pytest.raises(ValueError):
+            IqDelayModel(MEDIUM).multi_age_matrix_penalty(0)
+
+
+class TestAreaCalibration:
+    """The model must reproduce Tables 5-6 and Figure 13."""
+
+    def test_table5_densities_encoded(self):
+        assert TRANSISTOR_DENSITY["tag_ram"] == 1.399
+        assert TRANSISTOR_DENSITY["wakeup"] == 1.586
+        assert TRANSISTOR_DENSITY["select"] == 0.740
+        assert TRANSISTOR_DENSITY["age_matrix"] == 1.708
+
+    def test_density_sanity_ordering(self):
+        # Denser than the FP multiplier, sparser than the L2 (paper's
+        # layout-reasonableness argument).
+        for circuit in ("tag_ram", "wakeup", "age_matrix"):
+            assert TRANSISTOR_DENSITY[circuit] > TRANSISTOR_DENSITY[
+                "fp_multiplier_54b (Fujitsu)"
+            ]
+            assert TRANSISTOR_DENSITY[circuit] < TRANSISTOR_DENSITY[
+                "l2_cache_512kb (Sun)"
+            ]
+
+    def test_overhead_is_17_percent(self):
+        report = IqAreaModel(MEDIUM).report()
+        assert report.overhead_fraction == pytest.approx(0.17, abs=1e-3)
+
+    def test_absolute_extra_area(self):
+        report = IqAreaModel(MEDIUM).report()
+        assert report.extra_select_mm2 == pytest.approx(EXTRA_SELECT_AREA_MM2, rel=1e-6)
+
+    def test_skylake_ratios(self):
+        report = IqAreaModel(MEDIUM).report()
+        assert report.vs_skylake_core == pytest.approx(0.00034, rel=1e-3)
+        assert report.vs_skylake_chip == pytest.approx(0.00010, rel=1e-3)
+
+    def test_relative_sizes_sum_to_one(self):
+        sizes = IqAreaModel(MEDIUM).report().relative_sizes()
+        assert sum(sizes.values()) == pytest.approx(1.0)
+
+    def test_age_matrix_is_largest_and_tag_ram_small(self):
+        sizes = IqAreaModel(MEDIUM).report().relative_sizes()
+        assert sizes["age_matrix"] == max(sizes.values())
+        assert sizes["tag_ram"] == min(sizes.values())
+
+    def test_cost_neutral_growth_is_150_entries(self):
+        assert IqAreaModel(MEDIUM).cost_neutral_age_entries() == 150
+
+    def test_age_matrix_area_scales_quadratically(self):
+        medium = IqAreaModel(MEDIUM).report().circuits_mm2["age_matrix"]
+        large = IqAreaModel(LARGE).report().circuits_mm2["age_matrix"]
+        assert large == pytest.approx(4 * medium, rel=1e-6)
+
+    def test_multiple_matrices_multiply_area(self):
+        one = IqAreaModel(MEDIUM).report(num_age_matrices=1)
+        seven = IqAreaModel(MEDIUM).report(num_age_matrices=7)
+        assert seven.circuits_mm2["age_matrix"] == pytest.approx(
+            7 * one.circuits_mm2["age_matrix"], rel=1e-6
+        )
+
+
+class TestEnergyModel:
+    def _stats(self, **overrides) -> PipelineStats:
+        stats = PipelineStats()
+        defaults = dict(
+            cycles=10_000,
+            iq_wakeup_broadcasts=20_000,
+            iq_select_ops=9_000,
+            iq_tag_ram_reads=20_000,
+            iq_payload_reads=20_000,
+            iq_dispatch_writes=21_000,
+        )
+        defaults.update(overrides)
+        for key, value in defaults.items():
+            setattr(stats, key, value)
+        return stats
+
+    def test_swque_specific_share_is_small(self):
+        model = IqEnergyModel(MEDIUM)
+        stats = self._stats(iq_select_rv_ops=500, iq_tag_ram_rv_reads=1_500)
+        breakdown = model.evaluate(stats, "swque")
+        assert 0 < breakdown.swque_specific_fraction < 0.05
+
+    def test_age_run_charges_no_swque_energy(self):
+        breakdown = IqEnergyModel(MEDIUM).evaluate(self._stats(), "age")
+        assert breakdown.static_swque == 0
+        assert breakdown.dynamic_swque == 0
+
+    def test_real_shift_pays_compaction(self):
+        model = IqEnergyModel(MEDIUM)
+        stats = self._stats(shift_compaction_moves=500_000)
+        real = model.evaluate(stats, "shift")
+        ideal = model.evaluate(stats, "shift", idealized_shift=True)
+        assert real.total > 1.5 * ideal.total
+        assert ideal.compaction == 0
+
+    def test_relative_to(self):
+        model = IqEnergyModel(MEDIUM)
+        a = model.evaluate(self._stats(), "age")
+        b = model.evaluate(self._stats(cycles=20_000), "age")
+        assert b.relative_to(a) > 1.0
+
+    def test_longer_runtime_costs_static_energy(self):
+        model = IqEnergyModel(MEDIUM)
+        short = model.evaluate(self._stats(cycles=10_000), "age")
+        long = model.evaluate(self._stats(cycles=30_000), "age")
+        assert long.static_base == pytest.approx(3 * short.static_base)
+        assert long.dynamic_base == pytest.approx(short.dynamic_base)
+
+    def test_zero_baseline_rejected(self):
+        breakdown = EnergyBreakdown(0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            breakdown.relative_to(breakdown)

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on the core data structures."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.age import AgeQueue
+from repro.core.circ import CircularQueue, CircularQueuePerfectPriority
+from repro.core.circ_pc import CircPCQueue
+from repro.core.rand import RandomQueue
+from repro.core.shift import ShiftQueue
+from repro.config import CacheConfig
+from repro.memory.cache import Cache
+
+from conftest import AlwaysFreeFuPool, LimitedFuPool, make_inst
+
+QUEUE_TYPES = [ShiftQueue, RandomQueue, AgeQueue, CircularQueue,
+               CircularQueuePerfectPriority, CircPCQueue]
+
+
+def random_traffic(queue_cls, seed, size=8, issue_width=2, steps=120):
+    """Drive a queue with random dispatch/wakeup/select/evict traffic.
+
+    Returns (queue, dispatched, issued, evicted) for invariant checks.
+    """
+    rng = random.Random(seed)
+    queue = queue_cls(size, issue_width)
+    fu = LimitedFuPool(issue_width)
+    seq = 0
+    in_queue = []
+    dispatched, issued, evicted = [], [], []
+    for cycle in range(steps):
+        action = rng.random()
+        if action < 0.45 and queue.can_dispatch():
+            inst = make_inst(seq=seq)
+            seq += 1
+            queue.dispatch(inst)
+            in_queue.append(inst)
+            dispatched.append(inst)
+            if rng.random() < 0.8:
+                queue.wakeup(inst)
+        elif action < 0.85:
+            fu.reset()
+            for inst in queue.select(fu, cycle):
+                issued.append(inst)
+                in_queue.remove(inst)
+        elif in_queue and rng.random() < 0.3:
+            victim = rng.choice(in_queue)
+            victim.squashed = True
+            queue.evict(victim)
+            in_queue.remove(victim)
+            evicted.append(victim)
+    return queue, dispatched, issued, evicted
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(QUEUE_TYPES))
+def test_queue_conservation(seed, queue_cls):
+    """Occupancy always equals dispatched - issued - evicted, and never
+    exceeds capacity."""
+    queue, dispatched, issued, evicted = random_traffic(queue_cls, seed)
+    assert queue.occupancy == len(dispatched) - len(issued) - len(evicted)
+    assert 0 <= queue.occupancy <= queue.size
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(QUEUE_TYPES))
+def test_no_double_issue(seed, queue_cls):
+    """Every instruction issues at most once and only after dispatch."""
+    _, dispatched, issued, evicted = random_traffic(queue_cls, seed)
+    assert len(set(id(i) for i in issued)) == len(issued)
+    dispatched_ids = {id(i) for i in dispatched}
+    assert all(id(i) in dispatched_ids for i in issued)
+    assert not (set(id(i) for i in issued) & set(id(i) for i in evicted))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_shift_issues_in_age_order(seed):
+    """SHIFT with a single port must issue in strict age order among the
+    instructions that were ready when selected."""
+    rng = random.Random(seed)
+    queue = ShiftQueue(8, 1)
+    fu = LimitedFuPool(1)
+    seq = 0
+    issued = []
+    ready_set = []
+    for cycle in range(100):
+        if rng.random() < 0.5 and queue.can_dispatch():
+            inst = make_inst(seq=seq)
+            seq += 1
+            queue.dispatch(inst)
+            queue.wakeup(inst)
+            ready_set.append(inst)
+        else:
+            fu.reset()
+            out = queue.select(fu, cycle)
+            if out:
+                oldest = min(ready_set, key=lambda i: i.seq)
+                assert out[0] is oldest
+                ready_set.remove(out[0])
+                issued.append(out[0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_circ_region_invariants(seed):
+    """The circular queue's region never exceeds its size, contains the
+    occupancy, and hole count is non-negative."""
+    rng = random.Random(seed)
+    queue = CircularQueue(8, 2)
+    fu = LimitedFuPool(2)
+    seq = 0
+    for cycle in range(200):
+        if rng.random() < 0.5 and queue.can_dispatch():
+            inst = make_inst(seq=seq)
+            seq += 1
+            queue.dispatch(inst)
+            if rng.random() < 0.7:
+                queue.wakeup(inst)
+        else:
+            fu.reset()
+            queue.select(fu, cycle)
+        assert 0 <= queue.region_length <= queue.size
+        assert queue.occupancy <= queue.region_length
+        assert queue.holes >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_circ_pc_corrected_order_is_age_order(seed):
+    """CIRC-PC's corrected ready ordering equals age order whenever the
+    queue is not currently wrapped.
+
+    While wrapped, the correction is exact for a single wrap era (covered
+    by the directed tests); an instruction whose reverse flag survives
+    into a *second* wrap era can still be mis-ranked -- a corner the
+    hardware scheme shares, since per-entry flags are only gated by the
+    global wrapped signal.
+    """
+    rng = random.Random(seed)
+    queue = CircPCQueue(8, 2)
+    fu = LimitedFuPool(2)
+    seq = 0
+    for cycle in range(150):
+        if rng.random() < 0.5 and queue.can_dispatch():
+            inst = make_inst(seq=seq)
+            seq += 1
+            queue.dispatch(inst)
+            if rng.random() < 0.7:
+                queue.wakeup(inst)
+        else:
+            fu.reset()
+            queue.select(fu, cycle)
+        if not queue.spans_wraparound:
+            ordered = queue.ordered_ready()
+            assert [i.seq for i in ordered] == sorted(i.seq for i in ordered)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=8))
+def test_cache_lru_property(seed, ways_pow, sets_pow):
+    """The cache never holds more lines per set than its associativity,
+    and the most recently touched line is always resident."""
+    rng = random.Random(seed)
+    ways = 2 ** (ways_pow - 1)
+    sets = 2 ** (sets_pow - 1)
+    cache = Cache(CacheConfig(size_bytes=sets * ways * 64, associativity=ways))
+    for _ in range(300):
+        line = rng.randrange(sets * ways * 4)
+        if not cache.lookup(line):
+            cache.fill(line)
+        assert cache.contains(line)
+    assert cache.occupancy() <= sets * ways
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_rand_queue_slots_unique(seed):
+    """RAND never places two instructions in one slot."""
+    queue, *_ = random_traffic(RandomQueue, seed)
+    slots = [inst.iq_slot for inst in queue._slots if inst is not None]
+    occupied = [i for i, inst in enumerate(queue._slots) if inst is not None]
+    assert slots == occupied

@@ -1,0 +1,170 @@
+"""Tests for SHIFT, RAND, and AGE issue queues."""
+
+import pytest
+
+from repro.core.age import AgeQueue, MULTI_AM_BUCKETS
+from repro.core.rand import RandomQueue
+from repro.core.shift import ShiftQueue
+from repro.cpu.isa import OpClass
+
+from conftest import AlwaysFreeFuPool, LimitedFuPool, make_inst
+
+
+def drain(queue, fu=None, cycle=0):
+    return queue.select(fu or AlwaysFreeFuPool(), cycle)
+
+
+class TestShiftQueue:
+    def test_dispatch_and_capacity(self):
+        q = ShiftQueue(4, 2)
+        for i in range(4):
+            q.dispatch(make_inst(seq=i))
+        assert q.is_full
+        with pytest.raises(RuntimeError):
+            q.dispatch(make_inst(seq=99))
+
+    def test_age_order_priority(self):
+        q = ShiftQueue(8, 2)
+        insts = [make_inst(seq=i) for i in range(4)]
+        for inst in insts:
+            q.dispatch(inst)
+            q.wakeup(inst)
+        issued = drain(q)
+        assert [i.seq for i in issued] == [0, 1]
+
+    def test_priority_rank_compacts(self):
+        q = ShiftQueue(8, 4)
+        insts = [make_inst(seq=i) for i in range(4)]
+        for inst in insts:
+            q.dispatch(inst)
+        assert q.priority_rank(insts[3]) == 3
+        q.wakeup(insts[1])
+        drain(q)  # issues #1, closing its hole
+        assert q.priority_rank(insts[3]) == 2
+
+    def test_compaction_moves_counted(self):
+        q = ShiftQueue(8, 4)
+        insts = [make_inst(seq=i) for i in range(4)]
+        for inst in insts:
+            q.dispatch(inst)
+        q.wakeup(insts[0])
+        drain(q)
+        # Removing the head shifts the three younger entries.
+        assert q.stats.shift_compaction_moves == 3
+
+    def test_flush_empties(self):
+        q = ShiftQueue(8, 2)
+        inst = make_inst(seq=0)
+        q.dispatch(inst)
+        q.flush()
+        assert q.occupancy == 0
+        assert not inst.in_iq
+        assert q.can_dispatch()
+
+    def test_remove_unknown_raises(self):
+        q = ShiftQueue(8, 2)
+        with pytest.raises(KeyError):
+            q.remove(make_inst(seq=5))
+
+
+class TestRandomQueue:
+    def test_lowest_free_slot_dispatch(self):
+        q = RandomQueue(8, 4)
+        a, b = make_inst(seq=0), make_inst(seq=1)
+        q.dispatch(a)
+        q.dispatch(b)
+        assert a.iq_slot == 0
+        assert b.iq_slot == 1
+
+    def test_hole_reuse(self):
+        q = RandomQueue(4, 4)
+        insts = [make_inst(seq=i) for i in range(4)]
+        for inst in insts:
+            q.dispatch(inst)
+        q.wakeup(insts[1])
+        drain(q)
+        newcomer = make_inst(seq=10)
+        q.dispatch(newcomer)
+        assert newcomer.iq_slot == 1  # the freed hole, i.e. full capacity use
+
+    def test_priority_is_position_not_age(self):
+        q = RandomQueue(4, 1)
+        old, young = make_inst(seq=0), make_inst(seq=1)
+        q.dispatch(old)        # slot 0
+        q.dispatch(young)      # slot 1
+        q.wakeup(old)
+        drain(q)               # frees slot 0
+        younger = make_inst(seq=2)
+        q.dispatch(younger)    # lands in slot 0: *higher* priority than #1
+        q.wakeup(young)
+        q.wakeup(younger)
+        issued = drain(q)
+        assert issued[0].seq == 2
+
+    def test_full_capacity_usable(self):
+        q = RandomQueue(4, 4)
+        for i in range(4):
+            q.dispatch(make_inst(seq=i))
+        assert q.is_full
+
+
+class TestAgeQueue:
+    def test_oldest_ready_promoted(self):
+        q = AgeQueue(8, 2)
+        insts = [make_inst(seq=i) for i in range(4)]
+        for inst in insts:
+            q.dispatch(inst)
+        # Free slot 0 by issuing #0, then land a younger inst in slot 0.
+        q.wakeup(insts[0])
+        drain(q)
+        young = make_inst(seq=9)
+        q.dispatch(young)          # slot 0
+        q.wakeup(young)
+        q.wakeup(insts[2])         # older, but in slot 2
+        issued = drain(q)
+        # The age matrix promotes #2 over the better-positioned #9.
+        assert issued[0].seq == 2
+
+    def test_only_single_oldest_protected(self):
+        q = AgeQueue(8, 1)
+        insts = [make_inst(seq=i) for i in range(3)]
+        for inst in insts:
+            q.dispatch(inst)
+        q.wakeup(insts[0])
+        q.wakeup(insts[1])
+        fu = LimitedFuPool(1)
+        issued = q.select(fu, 0)
+        assert [i.seq for i in issued] == [0]
+
+    def test_multi_bucket_steering_balances(self):
+        q = AgeQueue(16, 4, buckets=MULTI_AM_BUCKETS["medium"])
+        assert q.num_age_matrices == 7
+        insts = [make_inst(seq=i, op=OpClass.IALU) for i in range(6)]
+        for inst in insts:
+            q.dispatch(inst)
+        # Six int ops over three int buckets -> two each.
+        buckets = [inst.iq_bucket for inst in insts]
+        assert sorted(buckets) == [0, 0, 1, 1, 2, 2]
+
+    def test_multi_bucket_promotes_one_per_bucket(self):
+        q = AgeQueue(16, 6, buckets={"int": 2, "mem": 1, "fp": 1})
+        a = make_inst(seq=0, op=OpClass.IALU)
+        b = make_inst(seq=1, op=OpClass.IALU)
+        c = make_inst(seq=2, op=OpClass.IALU)
+        d = make_inst(seq=3, op=OpClass.IALU)
+        for inst in (a, b, c, d):
+            q.dispatch(inst)
+            q.wakeup(inst)
+        ordered = q.ordered_ready()
+        # Bucket winners (the two oldest, one per int bucket) come first.
+        assert [i.seq for i in ordered[:2]] == [0, 1]
+
+    def test_bucket_count_restored_on_flush(self):
+        q = AgeQueue(16, 4, buckets={"int": 2, "mem": 1, "fp": 1})
+        q.dispatch(make_inst(seq=0, op=OpClass.IALU))
+        q.flush()
+        assert q._bucket_occ == [0, 0, 0, 0]
+
+    def test_invalid_bucket_group_rejected(self):
+        with pytest.raises(ValueError):
+            AgeQueue(8, 2, buckets={"bogus": 2})

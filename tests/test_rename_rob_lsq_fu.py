@@ -1,0 +1,240 @@
+"""Tests for rename, reorder buffer, load/store queue, and function units."""
+
+import pytest
+
+from repro.config import MEDIUM
+from repro.cpu.fu import FunctionUnitPool
+from repro.cpu.isa import FuClass, OpClass
+from repro.cpu.lsq import LoadStoreQueue
+from repro.cpu.rename import RenameUnit
+from repro.cpu.rob import ReorderBuffer
+from repro.cpu.trace import NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS
+
+from conftest import make_inst
+
+
+class TestRenameUnit:
+    def test_dependency_edge_created(self):
+        rename = RenameUnit(64, 64)
+        producer = make_inst(seq=0, dest=5)
+        consumer = make_inst(seq=1, dest=6, srcs=(5,))
+        rename.rename(producer)
+        rename.rename(consumer)
+        assert consumer.pending_sources == 1
+        assert consumer in producer.consumers
+
+    def test_completed_producer_is_not_a_dependency(self):
+        rename = RenameUnit(64, 64)
+        producer = make_inst(seq=0, dest=5)
+        rename.rename(producer)
+        producer.completed = True
+        consumer = make_inst(seq=1, dest=6, srcs=(5,))
+        rename.rename(consumer)
+        assert consumer.pending_sources == 0
+
+    def test_same_register_both_sources(self):
+        rename = RenameUnit(64, 64)
+        producer = make_inst(seq=0, dest=5)
+        consumer = make_inst(seq=1, dest=6, srcs=(5, 5))
+        rename.rename(producer)
+        rename.rename(consumer)
+        assert consumer.pending_sources == 2
+
+    def test_free_list_accounting(self):
+        rename = RenameUnit(NUM_INT_ARCH_REGS + 2, NUM_FP_ARCH_REGS + 1)
+        assert rename.free_int == 2
+        a = make_inst(seq=0, dest=1)
+        b = make_inst(seq=1, dest=2)
+        rename.rename(a)
+        rename.rename(b)
+        assert rename.free_int == 0
+        assert not rename.can_rename(make_inst(seq=2, dest=3))
+        rename.release(a)
+        assert rename.free_int == 1
+
+    def test_fp_and_int_pools_separate(self):
+        rename = RenameUnit(NUM_INT_ARCH_REGS + 1, NUM_FP_ARCH_REGS + 1)
+        rename.rename(make_inst(seq=0, dest=1))
+        assert rename.free_int == 0
+        assert rename.can_rename(make_inst(seq=1, dest=40))  # FP pool still free
+
+    def test_unwind_restores_previous_writer(self):
+        rename = RenameUnit(64, 64)
+        old = make_inst(seq=0, dest=5)
+        new = make_inst(seq=1, dest=5)
+        rename.rename(old)
+        rename.rename(new)
+        assert rename.producer_of(5) is new
+        rename.unwind(new)
+        assert rename.producer_of(5) is old
+        assert rename.free_int == 64 - NUM_INT_ARCH_REGS - 1
+
+    def test_flush_clears_map(self):
+        rename = RenameUnit(64, 64)
+        rename.rename(make_inst(seq=0, dest=5))
+        rename.flush()
+        assert rename.producer_of(5) is None
+
+    def test_requires_architectural_coverage(self):
+        with pytest.raises(ValueError):
+            RenameUnit(8, 64)
+
+
+class TestReorderBuffer:
+    def test_commit_in_order(self):
+        rob = ReorderBuffer(4)
+        a, b = make_inst(seq=0), make_inst(seq=1)
+        rob.push(a)
+        rob.push(b)
+        b.completed = True
+        assert rob.head() is a
+        a.completed = True
+        assert rob.commit_head() is a
+        assert rob.commit_head() is b
+
+    def test_full_rejects_push(self):
+        rob = ReorderBuffer(1)
+        rob.push(make_inst(seq=0))
+        assert rob.is_full
+        with pytest.raises(RuntimeError):
+            rob.push(make_inst(seq=1))
+
+    def test_program_order_enforced(self):
+        rob = ReorderBuffer(4)
+        rob.push(make_inst(seq=5))
+        with pytest.raises(ValueError):
+            rob.push(make_inst(seq=3))
+
+    def test_commit_incomplete_rejected(self):
+        rob = ReorderBuffer(4)
+        rob.push(make_inst(seq=0))
+        with pytest.raises(RuntimeError):
+            rob.commit_head()
+
+    def test_squash_younger(self):
+        rob = ReorderBuffer(8)
+        insts = [make_inst(seq=i) for i in range(5)]
+        for inst in insts:
+            rob.push(inst)
+        squashed = rob.squash_younger(2)
+        assert [i.seq for i in squashed] == [4, 3]  # youngest first
+        assert all(i.squashed for i in squashed)
+        assert len(rob) == 3
+        assert not insts[2].squashed
+
+    def test_flush_squashes_everything(self):
+        rob = ReorderBuffer(8)
+        insts = [make_inst(seq=i) for i in range(3)]
+        for inst in insts:
+            rob.push(inst)
+        flushed = rob.flush()
+        assert [i.seq for i in flushed] == [0, 1, 2]
+        assert all(i.squashed for i in insts)
+        assert not rob
+
+
+class TestLoadStoreQueue:
+    def test_capacity(self):
+        lsq = LoadStoreQueue(2)
+        lsq.insert(make_inst(seq=0, op=OpClass.LOAD, mem_addr=0x100))
+        lsq.insert(make_inst(seq=1, op=OpClass.LOAD, mem_addr=0x200))
+        assert lsq.is_full
+        with pytest.raises(RuntimeError):
+            lsq.insert(make_inst(seq=2, op=OpClass.LOAD, mem_addr=0x300))
+
+    def test_store_to_load_forwarding(self):
+        lsq = LoadStoreQueue(8)
+        store = make_inst(seq=0, op=OpClass.STORE, dest=None, srcs=(1,), mem_addr=0x100)
+        load = make_inst(seq=1, op=OpClass.LOAD, dest=2, mem_addr=0x100)
+        lsq.insert(store)
+        lsq.insert(load)
+        assert load.forwarded
+        assert load.pending_sources == 1  # waits for the store
+        assert load in store.consumers
+
+    def test_forward_from_completed_store_has_no_dependency(self):
+        lsq = LoadStoreQueue(8)
+        store = make_inst(seq=0, op=OpClass.STORE, dest=None, mem_addr=0x100)
+        store.completed = True
+        lsq.insert(store)
+        load = make_inst(seq=1, op=OpClass.LOAD, dest=2, mem_addr=0x100)
+        lsq.insert(load)
+        assert load.forwarded
+        assert load.pending_sources == 0
+
+    def test_no_forward_on_different_address(self):
+        lsq = LoadStoreQueue(8)
+        lsq.insert(make_inst(seq=0, op=OpClass.STORE, dest=None, mem_addr=0x100))
+        load = make_inst(seq=1, op=OpClass.LOAD, dest=2, mem_addr=0x108)
+        lsq.insert(load)
+        assert not load.forwarded
+
+    def test_release_frees_entry_and_store_index(self):
+        lsq = LoadStoreQueue(2)
+        store = make_inst(seq=0, op=OpClass.STORE, dest=None, mem_addr=0x100)
+        lsq.insert(store)
+        lsq.release(store)
+        assert len(lsq) == 0
+        load = make_inst(seq=1, op=OpClass.LOAD, dest=2, mem_addr=0x100)
+        lsq.insert(load)
+        assert not load.forwarded  # mapping removed at release
+
+    def test_squash_removes_store_mapping(self):
+        lsq = LoadStoreQueue(4)
+        store = make_inst(seq=0, op=OpClass.STORE, dest=None, mem_addr=0x100)
+        lsq.insert(store)
+        store.squashed = True
+        lsq.squash(store)
+        load = make_inst(seq=1, op=OpClass.LOAD, dest=2, mem_addr=0x100)
+        lsq.insert(load)
+        assert not load.forwarded
+
+
+class TestFunctionUnitPool:
+    def test_per_class_limits(self):
+        pool = FunctionUnitPool(MEDIUM)
+        pool.new_cycle(0)
+        grants = sum(pool.try_claim(make_inst(op=OpClass.IALU), 0) for _ in range(5))
+        assert grants == 3  # 3 iALUs
+
+    def test_classes_independent(self):
+        pool = FunctionUnitPool(MEDIUM)
+        pool.new_cycle(0)
+        for _ in range(3):
+            assert pool.try_claim(make_inst(op=OpClass.IALU), 0)
+        assert pool.try_claim(make_inst(op=OpClass.LOAD, mem_addr=0x0), 0)
+        assert pool.try_claim(make_inst(op=OpClass.FPADD, dest=40), 0)
+
+    def test_new_cycle_resets_pipelined_units(self):
+        pool = FunctionUnitPool(MEDIUM)
+        pool.new_cycle(0)
+        for _ in range(3):
+            pool.try_claim(make_inst(op=OpClass.IALU), 0)
+        assert not pool.try_claim(make_inst(op=OpClass.IALU), 0)
+        pool.new_cycle(1)
+        assert pool.try_claim(make_inst(op=OpClass.IALU), 1)
+
+    def test_unpipelined_divide_blocks_unit(self):
+        pool = FunctionUnitPool(MEDIUM)
+        pool.new_cycle(0)
+        assert pool.try_claim(make_inst(op=OpClass.IDIV), 0)
+        pool.new_cycle(1)
+        # The single iMULT unit is busy for the divide latency.
+        assert not pool.try_claim(make_inst(op=OpClass.IMUL), 1)
+        pool.new_cycle(20)
+        assert pool.try_claim(make_inst(op=OpClass.IMUL), 20)
+
+    def test_flush_releases_units(self):
+        pool = FunctionUnitPool(MEDIUM)
+        pool.new_cycle(0)
+        pool.try_claim(make_inst(op=OpClass.IDIV), 0)
+        pool.flush()
+        pool.new_cycle(1)
+        assert pool.try_claim(make_inst(op=OpClass.IMUL), 1)
+
+    def test_available_counts(self):
+        pool = FunctionUnitPool(MEDIUM)
+        pool.new_cycle(0)
+        assert pool.available(FuClass.IALU, 0) == 3
+        pool.try_claim(make_inst(op=OpClass.IALU), 0)
+        assert pool.available(FuClass.IALU, 0) == 2

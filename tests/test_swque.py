@@ -1,0 +1,179 @@
+"""Tests for the SWQUE mode-switching controller (Section 3.2)."""
+
+from repro.config import SwqueParams
+from repro.core.age import AgeQueue
+from repro.core.circ_pc import CircPCQueue
+from repro.core.swque import MODE_AGE, MODE_CIRC_PC, SwitchingQueue
+
+from conftest import AlwaysFreeFuPool, make_inst
+
+PARAMS = SwqueParams(switch_interval=1000, instability_reset_interval=100_000)
+
+
+def make_queue(params=PARAMS) -> SwitchingQueue:
+    return SwitchingQueue(16, 4, params=params)
+
+
+def run_interval(queue, llc_misses_total, flpi=0.0, instructions=None):
+    """Feed one full switch interval with the given metric readings."""
+    instructions = instructions or queue.params.switch_interval
+    # Plant FLPI counters on the active queue, then commit the interval.
+    queue._active.interval_issues = 1000
+    queue._active.interval_low_issues = int(1000 * flpi)
+    queue.note_commit(instructions, llc_misses_total)
+
+
+def finish_switch(queue):
+    """The pipeline notices wants_flush and flushes."""
+    if queue.wants_flush:
+        queue.flush()
+
+
+class TestModeDecision:
+    def test_starts_in_circ_pc(self):
+        q = make_queue()
+        assert q.mode == MODE_CIRC_PC
+        assert isinstance(q._active, CircPCQueue)
+
+    def test_high_mpki_switches_to_age(self):
+        q = make_queue()
+        run_interval(q, llc_misses_total=50)   # 50 misses / 1k = 50 MPKI
+        assert q.wants_flush
+        finish_switch(q)
+        assert q.mode == MODE_AGE
+        assert isinstance(q._active, AgeQueue)
+
+    def test_high_flpi_switches_to_age(self):
+        q = make_queue()
+        run_interval(q, llc_misses_total=0, flpi=0.10)
+        finish_switch(q)
+        assert q.mode == MODE_AGE
+
+    def test_both_low_stays_circ_pc(self):
+        q = make_queue()
+        run_interval(q, llc_misses_total=0, flpi=0.01)
+        assert not q.wants_flush
+        assert q.mode == MODE_CIRC_PC
+
+    def test_age_returns_to_circ_pc_when_both_low(self):
+        q = make_queue()
+        run_interval(q, 50)
+        finish_switch(q)
+        assert q.mode == MODE_AGE
+        run_interval(q, 50, flpi=0.0)          # delta vs previous total = 0
+        finish_switch(q)
+        assert q.mode == MODE_CIRC_PC
+
+    def test_disagreement_favours_age(self):
+        # MPKI high, FLPI low -> AGE (the AGE-favouring policy).
+        q = make_queue()
+        run_interval(q, llc_misses_total=50, flpi=0.0)
+        finish_switch(q)
+        assert q.mode == MODE_AGE
+
+    def test_switch_penalty_exposed(self):
+        q = make_queue()
+        assert q.flush_penalty == q.params.switch_penalty
+
+
+class TestInstabilityCounter:
+    def test_flpi_flapping_lowers_age_threshold(self):
+        q = make_queue()
+        base = q.params.flpi_threshold
+        # CIRC-PC decides AGE (low MPKI, high FLPI): counter 1.
+        run_interval(q, 0, flpi=0.10)
+        finish_switch(q)
+        assert q.instability_counter == 1
+        # AGE decides CIRC-PC.
+        run_interval(q, 0, flpi=0.0)
+        finish_switch(q)
+        assert q.mode == MODE_CIRC_PC
+        # CIRC-PC decides AGE again: counter saturates, threshold drops.
+        run_interval(q, 0, flpi=0.10)
+        finish_switch(q)
+        assert q.age_flpi_threshold == base - q.params.flpi_threshold_reduction
+        assert q.instability_counter == 0  # reset after applying
+
+    def test_stable_circ_pc_resets_counter(self):
+        q = make_queue()
+        run_interval(q, 0, flpi=0.10)
+        finish_switch(q)
+        run_interval(q, 0, flpi=0.0)
+        finish_switch(q)
+        assert q.instability_counter == 1
+        run_interval(q, 0, flpi=0.0)            # stays CIRC-PC
+        assert q.instability_counter == 0
+
+    def test_mpki_driven_switch_does_not_count(self):
+        q = make_queue()
+        run_interval(q, 50, flpi=0.0)           # MPKI high, FLPI low
+        finish_switch(q)
+        assert q.instability_counter == 0
+
+    def test_periodic_reset_restores_threshold(self):
+        params = SwqueParams(switch_interval=1000, instability_reset_interval=3500)
+        q = make_queue(params)
+        run_interval(q, 0, flpi=0.10)
+        finish_switch(q)
+        run_interval(q, 0, flpi=0.0)
+        finish_switch(q)
+        run_interval(q, 0, flpi=0.10)
+        finish_switch(q)
+        assert q.age_flpi_threshold < params.flpi_threshold
+        # Crossing the reset interval restores learning state.
+        run_interval(q, 0, flpi=0.10)
+        assert q.age_flpi_threshold == params.flpi_threshold
+        assert q.instability_counter == 0
+
+
+class TestDelegationAndFlush:
+    def test_dispatch_and_select_delegate(self):
+        q = make_queue()
+        inst = make_inst(seq=0)
+        q.dispatch(inst)
+        q.wakeup(inst)
+        assert q.occupancy == 1
+        issued = q.select(AlwaysFreeFuPool(), 0)
+        assert issued == [inst]
+        assert q.occupancy == 0
+
+    def test_flush_without_pending_switch_keeps_mode(self):
+        q = make_queue()
+        q.dispatch(make_inst(seq=0))
+        q.flush()
+        assert q.mode == MODE_CIRC_PC
+        assert q.occupancy == 0
+
+    def test_mode_switch_counted_in_stats(self):
+        q = make_queue()
+        run_interval(q, 50)
+        finish_switch(q)
+        assert q.stats.mode_switches == 1
+
+    def test_stats_reset_mid_interval_does_not_fake_low_mpki(self):
+        q = make_queue()
+        run_interval(q, 50)
+        finish_switch(q)
+        assert q.mode == MODE_AGE
+        # Counter reset (measurement warmup): totals go backwards.
+        q._active.interval_issues = 1000
+        q._active.interval_low_issues = 100
+        q.note_commit(999, 0)
+        # Interval restarted: high-FLPI/high-MPKI state not yet evaluated.
+        assert not q.wants_flush
+        q._active.interval_issues = 1000
+        q._active.interval_low_issues = 100
+        q.note_commit(1000, 40)
+        assert q.mode == MODE_AGE  # 40 MPKI keeps it in AGE
+
+    def test_mode_cycle_fractions(self):
+        q = make_queue()
+        for cycle in range(10):
+            q.tick(cycle)
+        run_interval(q, 50)
+        finish_switch(q)
+        for cycle in range(10, 40):
+            q.tick(cycle)
+        fractions = q.mode_cycle_fractions()
+        assert abs(fractions[MODE_CIRC_PC] - 0.25) < 1e-9
+        assert abs(fractions[MODE_AGE] - 0.75) < 1e-9
