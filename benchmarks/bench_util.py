@@ -5,12 +5,23 @@ the corresponding experiment once under pytest-benchmark (pedantic mode --
 these are minutes-scale simulations, not microbenchmarks), asserts the
 paper's qualitative shape, and writes the regenerated rows to
 ``benchmarks/results/`` for inspection.
+
+Simulation batches run through the fault-tolerant sweep harness
+(:mod:`repro.sim.harness`): the figure experiments ride it transitively
+via :func:`repro.sim.runner.run_policies`, and :func:`bench_sweep` below
+is the direct front for grid-shaped benchmarks — one transient retry per
+cell, and a permanent failure aborts with the *complete* per-cell report
+(tracebacks and partial stats included) instead of a bare mid-sweep
+exception.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+
+from repro.config import MEDIUM
+from repro.sim.harness import make_grid, run_sweep
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -33,3 +44,28 @@ def record(name: str, payload) -> None:
 def run_once(benchmark, func):
     """Run ``func`` exactly once under pytest-benchmark and return it."""
     return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def bench_sweep(
+    workloads,
+    policies,
+    config=MEDIUM,
+    num_instructions=BENCH_INSTRUCTIONS,
+    seed=None,
+    retries=1,
+):
+    """Run a (workload x policy) grid through the resilient harness.
+
+    Returns ``results[workload][policy]`` like ``run_policies``.  Cells
+    that diverge are retried once; if anything still fails, the whole
+    harness report (statuses, tracebacks, partial stats) goes into the
+    AssertionError so the benchmark log shows *which* cells died and how
+    far they got.
+    """
+    jobs = make_grid(
+        workloads, policies, configs=(config,),
+        num_instructions=num_instructions, seed=seed,
+    )
+    report = run_sweep(jobs, executor="inline", retries=retries)
+    assert report.all_ok, f"benchmark sweep had failures:\n{report.summary()}"
+    return report.by_workload()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A sweep that survives crashing, hanging, and diverging cells.
+
+Runs a small workload x policy grid through the fault-tolerant harness
+with three chaos cells injected: one that crashes its worker, one that
+hangs past the wall-clock timeout, and one that diverges under an
+impossibly tight cycle budget (a *transient* failure, retried with
+backoff).  The sweep still completes: every healthy cell returns its
+result, every broken cell is reported as a FailedResult with its
+traceback and partial progress, and the JSON-lines checkpoint means a
+second invocation restores the finished cells instead of re-running them.
+
+    python examples/resilient_sweep.py [instructions]
+
+Equivalent CLI:
+
+    python -m repro sweep --workloads exchange2 leela --policies age swque \\
+        --timeout 600 --retries 2 --checkpoint sweep.jsonl --resume
+"""
+
+import pathlib
+import sys
+import tempfile
+
+from repro.config import MEDIUM
+from repro.sim.faults import FaultSpec
+from repro.sim.harness import SweepJob, make_grid, run_sweep
+
+WORKLOADS = ["exchange2", "leela"]
+POLICIES = ["age", "swque"]
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    checkpoint = pathlib.Path(tempfile.mkdtemp(prefix="repro-sweep-")) / "sweep.jsonl"
+
+    jobs = make_grid(WORKLOADS, POLICIES, num_instructions=instructions)
+    jobs += [
+        # A worker that dies mid-simulation (hard, like a segfault).
+        SweepJob("x264", "age", MEDIUM, instructions,
+                 fault=FaultSpec("crash", at_cycle=500, hard=True)),
+        # A worker that wedges; the harness kills it at the timeout.
+        SweepJob("x264", "swque", MEDIUM, instructions,
+                 fault=FaultSpec("hang", at_cycle=500, hang_seconds=600)),
+        # A run that cannot converge in its cycle budget: transient,
+        # retried with exponential backoff before being reported.
+        SweepJob("nab", "age", MEDIUM, instructions, max_cycles=1_000),
+    ]
+
+    print(f"Sweeping {len(jobs)} cells ({instructions:,} instructions each), "
+          f"checkpointing to {checkpoint} ...\n")
+    report = run_sweep(
+        jobs,
+        timeout=15.0,       # wall-clock guard per cell
+        retries=1,          # one backoff-delayed re-run for transient failures
+        backoff=0.5,
+        checkpoint=checkpoint,
+        on_result=lambda job, result: print("  " + result.summary()),
+    )
+
+    print()
+    print(report.summary())
+
+    print("\nResuming from the checkpoint (nothing left to run):")
+    resumed = run_sweep(jobs, checkpoint=checkpoint, resume=True)
+    print(f"  {resumed.restored} cells restored, {resumed.executed} executed")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,8 @@ Quickstart::
 Public surface:
 
 * :func:`repro.sim.simulate` -- run one workload under one IQ policy.
+* :mod:`repro.sim.harness` -- fault-tolerant sweeps: isolated workers,
+  timeouts, retry with backoff, checkpoint/resume.
 * :mod:`repro.core` -- the IQ organizations (SHIFT/RAND/AGE/CIRC/CIRC-PC/SWQUE).
 * :mod:`repro.workloads` -- the SPEC2017-like synthetic workload suite.
 * :mod:`repro.power` -- energy / area / delay models for the IQ circuits.
@@ -18,8 +20,9 @@ Public surface:
 """
 
 from repro.config import LARGE, MEDIUM, ProcessorConfig, SwqueParams
-from repro.sim.results import SimResult, geomean, speedup
+from repro.sim.results import FailedResult, SimResult, geomean, speedup
 from repro.sim.simulator import simulate
+from repro.sim.harness import SweepJob, SweepReport, make_grid, run_sweep
 
 __version__ = "1.0.0"
 
@@ -28,9 +31,14 @@ __all__ = [
     "MEDIUM",
     "ProcessorConfig",
     "SwqueParams",
+    "FailedResult",
     "SimResult",
+    "SweepJob",
+    "SweepReport",
     "geomean",
     "speedup",
     "simulate",
+    "make_grid",
+    "run_sweep",
     "__version__",
 ]

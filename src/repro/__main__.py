@@ -5,6 +5,8 @@ Examples::
     python -m repro run deepsjeng swque --instructions 60000
     python -m repro compare exchange2 --policies shift age swque
     python -m repro experiment fig8 --instructions 40000
+    python -m repro sweep --policies age swque --timeout 600 --retries 2 \\
+        --checkpoint sweep.jsonl --resume
     python -m repro list
 """
 
@@ -17,6 +19,7 @@ import sys
 from repro.config import LARGE, MEDIUM
 from repro.core.factory import IQ_POLICIES
 from repro.sim import experiments
+from repro.sim.harness import make_grid, run_sweep
 from repro.sim.runner import format_table, run_policies
 from repro.sim.simulator import simulate
 from repro.workloads.spec2017 import SPEC2017_PROFILES
@@ -63,6 +66,39 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--instructions", type=int, default=60_000)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="fault-tolerant workload x policy sweep (isolated workers, "
+             "retries, checkpoint/resume)",
+    )
+    sweep.add_argument("--workloads", nargs="+", default=None,
+                       choices=sorted(SPEC2017_PROFILES),
+                       help="default: every SPEC2017 profile")
+    sweep.add_argument("--policies", nargs="+",
+                       default=["shift", "age", "circ", "circ-pc", "swque"],
+                       choices=IQ_POLICIES)
+    sweep.add_argument("--instructions", type=int, default=60_000)
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="trace seed (default: each profile's own seed, "
+                            "deterministic)")
+    sweep.add_argument("--large", action="store_true")
+    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: CPU count - 1); "
+                            "0 = run inline in this process")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-job wall-clock budget; hung workers are killed")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="extra attempts for transient failures (default 1)")
+    sweep.add_argument("--backoff", type=float, default=0.5, metavar="SECONDS",
+                       help="base retry delay, doubled per attempt (default 0.5)")
+    sweep.add_argument("--max-cycles", type=int, default=None,
+                       help="per-run cycle budget (divergence watchdog)")
+    sweep.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="JSON-lines progress file, appended per finished cell")
+    sweep.add_argument("--resume", action="store_true",
+                       help="restore finished cells from --checkpoint and run "
+                            "only the rest")
+
     sub.add_parser("list", help="list workloads and policies")
     return parser
 
@@ -91,6 +127,34 @@ def main(argv=None) -> int:
                 for p, r in results[args.workload].items()]
         print(format_table(["policy", "IPC", "MPKI", "branch MPKI"], rows))
         return 0
+    if args.command == "sweep":
+        if args.resume and not args.checkpoint:
+            print("error: --resume needs --checkpoint", file=sys.stderr)
+            return 2
+        config = LARGE if args.large else MEDIUM
+        workloads = args.workloads or sorted(SPEC2017_PROFILES)
+        jobs = make_grid(
+            workloads,
+            args.policies,
+            configs=(config,),
+            num_instructions=args.instructions,
+            seed=args.seed,
+            max_cycles=args.max_cycles,
+        )
+        report = run_sweep(
+            jobs,
+            executor="inline" if args.jobs == 0 else "process",
+            max_workers=args.jobs or None,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            on_result=lambda job, result: print(result.summary(), flush=True),
+        )
+        print()
+        print(report.summary())
+        return 0 if report.all_ok else 1
     if args.command == "experiment":
         func = _EXPERIMENTS[args.name]
         if args.name in _ANALYTIC:

@@ -31,6 +31,33 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cpu.fu import FunctionUnitPool
 
 
+class InvariantViolation(RuntimeError):
+    """A structural invariant of the pipeline or an issue queue broke.
+
+    Raised by the always-on guard layer (see ``Pipeline._check_invariants``
+    and :meth:`IssueQueue.check_invariants`).  Carries enough context to
+    localize the corruption: which check fired, the cycle and committed
+    instruction count at the time, and the partial
+    :class:`~repro.cpu.stats.PipelineStats` (filled in by ``Pipeline.run``
+    before the exception escapes the simulation).
+    """
+
+    def __init__(
+        self,
+        check: str,
+        detail: str,
+        cycle: Optional[int] = None,
+        committed: Optional[int] = None,
+        partial_stats: Optional[PipelineStats] = None,
+    ) -> None:
+        super().__init__(f"invariant {check!r} violated: {detail}")
+        self.check = check
+        self.detail = detail
+        self.cycle = cycle
+        self.committed = committed
+        self.partial_stats = partial_stats
+
+
 class IssueQueue(ABC):
     """Abstract issue queue with shared ready-set and FLPI machinery."""
 
@@ -113,6 +140,21 @@ class IssueQueue(ABC):
     def _commit_grants(self, granted: Iterable[DynInst]) -> None:
         """Account for and remove a cycle's granted instructions."""
         for inst in granted:
+            if inst.issued:
+                raise InvariantViolation(
+                    "double-issue", f"instruction #{inst.seq} granted twice"
+                )
+            if inst.pending_sources:
+                raise InvariantViolation(
+                    "issue-unready",
+                    f"instruction #{inst.seq} granted with "
+                    f"{inst.pending_sources} unresolved sources",
+                )
+            if inst.squashed:
+                raise InvariantViolation(
+                    "issue-squashed",
+                    f"squashed instruction #{inst.seq} granted",
+                )
             rank = self.priority_rank(inst)
             self.interval_issues += 1
             if rank >= self.low_region_start:
@@ -142,6 +184,25 @@ class IssueQueue(ABC):
     def tick(self, cycle: int) -> None:
         """Per-cycle hook; default records occupancy for utilization stats."""
         self.stats.iq_occupancy_sum += self.occupancy
+
+    def check_invariants(self) -> None:
+        """Cheap structural self-check; raise :class:`InvariantViolation`.
+
+        Called once per cycle by the pipeline's guard layer.  The base
+        checks are O(1): occupancy stays within ``[0, size]`` and the ready
+        set never exceeds the queue capacity.  Subclasses extend this with
+        organization-specific state checks (see SWQUE's mode consistency).
+        """
+        if not 0 <= self.occupancy <= self.size:
+            raise InvariantViolation(
+                "iq-occupancy",
+                f"occupancy {self.occupancy} outside [0, {self.size}]",
+            )
+        if len(self.ready) > self.size:
+            raise InvariantViolation(
+                "iq-ready-overflow",
+                f"{len(self.ready)} ready entries in a {self.size}-entry queue",
+            )
 
     # -- mode-switching hooks (no-ops except in SWQUE) -------------------------------
 

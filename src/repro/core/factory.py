@@ -78,7 +78,17 @@ def build_issue_queue(
 
     ``trace`` is only needed by the ``critical-oracle`` ablation policy,
     which pre-analyses the whole instruction stream.
+
+    Unknown names raise :class:`ValueError` listing every valid policy
+    (and a closest-match suggestion for likely typos) — never a raw
+    ``KeyError`` from some table deep inside a queue implementation.
     """
+    if not isinstance(policy, str):
+        raise ValueError(
+            f"IQ policy must be a string name, got {type(policy).__name__}; "
+            f"choose from {IQ_POLICIES}"
+        )
+    policy = policy.strip().lower()
     size = config.iq_entries
     width = config.issue_width
     flpi_frac = config.swque.flpi_region_fraction
@@ -117,4 +127,10 @@ def build_issue_queue(
         return CriticalityOracleQueue(
             size, width, criticality=compute_criticality(trace), **common
         )
-    raise ValueError(f"unknown IQ policy {policy!r}; choose from {IQ_POLICIES}")
+    import difflib
+
+    message = f"unknown IQ policy {policy!r}; choose from {IQ_POLICIES}"
+    close = difflib.get_close_matches(policy, IQ_POLICIES, n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    raise ValueError(message)

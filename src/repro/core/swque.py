@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.config import SwqueParams
 from repro.core.age import AgeQueue
-from repro.core.base import IssueQueue
+from repro.core.base import InvariantViolation, IssueQueue
 from repro.core.circ_pc import CircPCQueue
 from repro.cpu.dyninst import DynInst
 from repro.cpu.stats import PipelineStats
@@ -127,6 +127,34 @@ class SwitchingQueue(IssueQueue):
             self.stats.cycles_in_circ_pc += 1
         else:
             self.stats.cycles_in_age += 1
+
+    def check_invariants(self) -> None:
+        """Base occupancy checks plus SWQUE mode-state consistency."""
+        super().check_invariants()
+        if self.mode not in (MODE_CIRC_PC, MODE_AGE):
+            raise InvariantViolation(
+                "swque-mode", f"unknown mode label {self.mode!r}"
+            )
+        expected = self._circ_pc if self.mode == MODE_CIRC_PC else self._age
+        if self._active is not expected:
+            raise InvariantViolation(
+                "swque-mode",
+                f"mode is {self.mode!r} but the active sub-queue is "
+                f"{type(self._active).__name__}",
+            )
+        inactive = self._age if self._active is self._circ_pc else self._circ_pc
+        if inactive.occupancy:
+            raise InvariantViolation(
+                "swque-inactive-occupancy",
+                f"inactive {type(inactive).__name__} holds "
+                f"{inactive.occupancy} instructions",
+            )
+        if self.occupancy != self._active.occupancy:
+            raise InvariantViolation(
+                "swque-occupancy-mirror",
+                f"wrapper occupancy {self.occupancy} != active sub-queue "
+                f"occupancy {self._active.occupancy}",
+            )
 
     # -- the switching scheme ----------------------------------------------------------
 

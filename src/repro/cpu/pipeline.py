@@ -21,10 +21,10 @@ one-cycle minimum IQ residency of real wakeup-select loops.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.config import ProcessorConfig
-from repro.core.base import IssueQueue
+from repro.core.base import InvariantViolation, IssueQueue
 from repro.cpu.branch import BranchUnit
 from repro.cpu.dyninst import DynInst
 from repro.cpu.frontend import FetchUnit
@@ -37,9 +37,27 @@ from repro.cpu.stats import PipelineStats
 from repro.cpu.trace import Trace
 from repro.memory.hierarchy import MemoryHierarchy
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.faults import FaultInjector
+
 
 class SimulationDiverged(RuntimeError):
-    """The pipeline stopped making progress (an internal-model bug)."""
+    """The pipeline stopped making progress (an internal-model bug).
+
+    Carries the run's partial :class:`~repro.cpu.stats.PipelineStats` and
+    the cycle count at abort, so callers (and the sweep harness) can see
+    how far the simulation got instead of losing the whole run.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        partial_stats: Optional[PipelineStats] = None,
+        cycles: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.partial_stats = partial_stats
+        self.cycles = cycles
 
 
 class Pipeline:
@@ -52,6 +70,7 @@ class Pipeline:
         iq: IssueQueue,
         hierarchy: Optional[MemoryHierarchy] = None,
         stats: Optional[PipelineStats] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -69,6 +88,10 @@ class Pipeline:
         #: completion cycle -> instructions finishing then.
         self._events: Dict[int, List[DynInst]] = {}
         self.cycle = 0
+        #: Optional chaos hook (see :mod:`repro.sim.faults`).
+        self.faults = faults
+        # Guard state: sequence number of the last committed instruction.
+        self._last_commit_seq = -1
 
     # -- top level ----------------------------------------------------------------
 
@@ -86,21 +109,36 @@ class Pipeline:
         """
         limit = max_cycles if max_cycles is not None else 120 * len(self.trace) + 50_000
         warm_pending = 0 < warmup_instructions < len(self.trace)
-        while self.rob or self.frontend.has_more():
-            if self.cycle > limit:
-                raise SimulationDiverged(
-                    f"no convergence after {self.cycle} cycles "
-                    f"(committed {self.stats.committed}/{len(self.trace)})"
-                )
-            self.step()
-            if warm_pending and self.stats.committed >= warmup_instructions:
-                self.stats.reset()
-                warm_pending = False
+        try:
+            while self.rob or self.frontend.has_more():
+                if self.cycle > limit:
+                    raise SimulationDiverged(
+                        f"no convergence after {self.cycle} cycles "
+                        f"(committed {self.stats.committed}/{len(self.trace)})",
+                        partial_stats=self.stats,
+                        cycles=self.cycle,
+                    )
+                self.step()
+                if warm_pending and self.stats.committed >= warmup_instructions:
+                    self.stats.reset()
+                    warm_pending = False
+        except InvariantViolation as exc:
+            # Fill in the run context before the violation escapes, so the
+            # harness can report how far the simulation got.
+            if exc.cycle is None:
+                exc.cycle = self.cycle
+            if exc.committed is None:
+                exc.committed = self.stats.committed
+            if exc.partial_stats is None:
+                exc.partial_stats = self.stats
+            raise
         return self.stats
 
     def step(self) -> None:
         """Advance the pipeline by one cycle."""
         cycle = self.cycle
+        if self.faults is not None:
+            self.faults.on_cycle(self, cycle)
         self.fu_pool.new_cycle(cycle)
         self._complete(cycle)
         self._commit(cycle)
@@ -109,8 +147,28 @@ class Pipeline:
         self.iq.tick(cycle)
         if self.iq.wants_flush:
             self._flush(self.iq.flush_penalty)
+        self._check_invariants(cycle)
         self.cycle += 1
         self.stats.cycles += 1
+
+    # -- invariant guards ------------------------------------------------------------
+
+    def _check_invariants(self, cycle: int) -> None:
+        """Always-on, O(1) structural checks run at the end of every cycle.
+
+        Catches state corruption (a model bug or an injected fault) at the
+        cycle it happens instead of cycles later as a bogus result or a
+        divergence timeout.  Anything heavier than a handful of comparisons
+        belongs in tests, not here: this runs hundreds of thousands of
+        times per simulation.
+        """
+        if len(self.rob) > self.rob.capacity:
+            raise InvariantViolation(
+                "rob-occupancy",
+                f"{len(self.rob)} entries in a {self.rob.capacity}-entry ROB",
+                cycle=cycle,
+            )
+        self.iq.check_invariants()
 
     # -- stages ---------------------------------------------------------------------
 
@@ -125,6 +183,8 @@ class Pipeline:
                     continue
                 consumer.pending_sources -= 1
                 if consumer.pending_sources == 0 and consumer.in_iq:
+                    if self.faults is not None and self.faults.drop_wakeup(consumer):
+                        continue
                     self.iq.wakeup(consumer)
             self.frontend.on_complete(inst, cycle)
         resolved = self.frontend.take_resolved()
@@ -138,6 +198,13 @@ class Pipeline:
             if head is None or not head.completed:
                 break
             self.rob.commit_head()
+            if head.seq <= self._last_commit_seq:
+                raise InvariantViolation(
+                    "commit-order",
+                    f"instruction #{head.seq} committed after #{self._last_commit_seq}",
+                    cycle=cycle,
+                )
+            self._last_commit_seq = head.seq
             if head.trace.mem_addr is not None:
                 self.lsq.release(head)
             self.rename.release(head)
@@ -148,6 +215,19 @@ class Pipeline:
     def _issue(self, cycle: int) -> None:
         issued = self.iq.select(self.fu_pool, cycle)
         for inst in issued:
+            if inst.issued:
+                raise InvariantViolation(
+                    "double-issue",
+                    f"instruction #{inst.seq} issued twice",
+                    cycle=cycle,
+                )
+            if inst.pending_sources:
+                raise InvariantViolation(
+                    "issue-unready",
+                    f"instruction #{inst.seq} issued with "
+                    f"{inst.pending_sources} unresolved sources",
+                    cycle=cycle,
+                )
             inst.issued = True
             inst.issue_cycle = cycle
             latency = self._execution_latency(inst, cycle)

@@ -1,14 +1,36 @@
 """Experiment harness: one-call simulation and the paper's figures/tables."""
 
-from repro.sim.results import SimResult, geomean, speedup
+# Import order matters: results/simulator first, so the cpu -> core.base
+# import chain initializes before harness pulls in repro.core.factory.
+from repro.sim.results import FailedResult, SimResult, geomean, speedup
 from repro.sim.simulator import simulate
-from repro.sim.runner import run_policies, format_table
+from repro.sim.harness import (
+    FaultSpec,
+    SweepFailed,
+    SweepJob,
+    SweepReport,
+    make_grid,
+    run_sweep,
+)
+from repro.sim.runner import (
+    format_table,
+    run_policies,
+    run_policies_resilient,
+)
 
 __all__ = [
+    "FailedResult",
+    "FaultSpec",
     "SimResult",
+    "SweepFailed",
+    "SweepJob",
+    "SweepReport",
     "geomean",
     "speedup",
     "simulate",
+    "make_grid",
+    "run_sweep",
     "run_policies",
+    "run_policies_resilient",
     "format_table",
 ]

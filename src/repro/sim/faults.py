@@ -1,0 +1,156 @@
+"""Fault injection for chaos-testing the pipeline guards and the harness.
+
+A :class:`FaultSpec` is a small picklable description of one fault; the
+pipeline consults a :class:`FaultInjector` built from it at two hook
+points (once per cycle, and on every completion-driven wakeup).  The
+supported kinds exercise the failure paths the robustness layer must
+handle:
+
+``drop-wakeup``
+    Suppress one tag broadcast.  The consumer never becomes ready, the
+    pipeline stops making progress, and the divergence watchdog fires —
+    proving :class:`~repro.cpu.pipeline.SimulationDiverged` carries the
+    partial stats.
+``corrupt-ready``
+    Set the "ready bit" of an instruction whose operands are still
+    pending (append it to the ready set).  The issue-stage guard catches
+    it as an ``issue-unready`` invariant violation.
+``readd-issued``
+    Re-insert an already-issued, not-yet-completed instruction into the
+    ready set; the ``double-issue`` guard must fire.
+``force-switch``
+    Flip SWQUE's mode label without reconfiguring the sub-queues, the
+    exact corruption the ``swque-mode`` consistency guard watches for.
+``crash``
+    Raise :class:`InjectedFault` (or ``os._exit`` when ``hard`` is set,
+    emulating a segfaulting worker) — exercises the harness's
+    crashed-worker path.
+``hang``
+    Sleep inside the cycle loop — exercises the harness's wall-clock
+    timeout and kill path.
+
+Every kind arms at ``at_cycle`` and fires at most ``count`` times; kinds
+that need a victim instruction keep trying each cycle until one exists.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cpu.dyninst import DynInst
+    from repro.cpu.pipeline import Pipeline
+
+#: Fault kinds accepted by :class:`FaultSpec`.
+FAULT_KINDS = (
+    "drop-wakeup",
+    "corrupt-ready",
+    "readd-issued",
+    "force-switch",
+    "crash",
+    "hang",
+)
+
+
+class InjectedFault(RuntimeError):
+    """Deliberate failure raised by the ``crash`` fault kind."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Picklable description of one injected fault (see module docstring)."""
+
+    kind: str
+    at_cycle: int = 100
+    count: int = 1
+    #: ``hang`` only: how long the victim cycle sleeps.
+    hang_seconds: float = 3600.0
+    #: ``crash`` only: die via ``os._exit`` (no traceback, like a segfault).
+    hard: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.at_cycle < 0:
+            raise ValueError("fault at_cycle must be >= 0")
+        if self.count < 1:
+            raise ValueError("fault count must be >= 1")
+
+
+class FaultInjector:
+    """Stateful executor of one :class:`FaultSpec` against a pipeline."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.fired = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.fired >= self.spec.count
+
+    def _armed(self, cycle: int) -> bool:
+        return cycle >= self.spec.at_cycle and not self.exhausted
+
+    # -- hooks called by the pipeline -----------------------------------------------
+
+    def on_cycle(self, pipeline: "Pipeline", cycle: int) -> None:
+        """Cycle-granularity faults; called at the top of every cycle."""
+        spec = self.spec
+        if spec.kind in ("drop-wakeup",) or not self._armed(cycle):
+            return
+        if spec.kind == "crash":
+            self.fired += 1
+            if spec.hard:  # pragma: no cover - kills the (worker) process
+                os._exit(13)
+            raise InjectedFault(f"injected crash at cycle {cycle}")
+        if spec.kind == "hang":
+            self.fired += 1
+            time.sleep(spec.hang_seconds)
+            return
+        if spec.kind == "force-switch":
+            self._corrupt_mode(pipeline)
+            return
+        if spec.kind == "corrupt-ready":
+            self._corrupt_ready(pipeline, want_pending=True)
+            return
+        if spec.kind == "readd-issued":
+            self._corrupt_ready(pipeline, want_pending=False)
+
+    def drop_wakeup(self, inst: "DynInst") -> bool:
+        """``drop-wakeup`` hook: True means *suppress* this tag broadcast."""
+        if self.spec.kind != "drop-wakeup" or self.exhausted:
+            return False
+        self.fired += 1
+        return True
+
+    # -- fault bodies -----------------------------------------------------------------
+
+    def _corrupt_mode(self, pipeline: "Pipeline") -> None:
+        from repro.core.swque import MODE_AGE, MODE_CIRC_PC, SwitchingQueue
+
+        iq = pipeline.iq
+        if not isinstance(iq, SwitchingQueue):
+            raise ValueError("force-switch fault needs a SWQUE issue queue")
+        self.fired += 1
+        # Flip the label only: the active sub-queue no longer matches.
+        iq.mode = MODE_AGE if iq.mode == MODE_CIRC_PC else MODE_CIRC_PC
+
+    def _corrupt_ready(self, pipeline: "Pipeline", want_pending: bool) -> None:
+        """Flip a "ready bit": push an ineligible instruction into the set."""
+        for inst in pipeline.rob:
+            if inst.squashed:
+                continue
+            if want_pending:  # corrupt-ready: operands still unresolved
+                eligible = inst.in_iq and inst.pending_sources > 0
+            else:  # readd-issued: already left the queue, not yet complete
+                eligible = inst.issued and not inst.completed
+            if eligible:
+                self.fired += 1
+                pipeline.iq.ready.append(inst)
+                return
+        # No victim this cycle; stay armed and retry next cycle.

@@ -4,9 +4,31 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 from repro.cpu.stats import PipelineStats
+
+
+def stats_to_dict(stats: PipelineStats) -> dict:
+    """Counter fields only (no derived rates) — JSON-round-trippable."""
+    return {
+        name: getattr(stats, name)
+        for name in stats.__dataclass_fields__
+    }
+
+
+def stats_from_dict(data: dict) -> PipelineStats:
+    """Rebuild a :class:`PipelineStats` from :func:`stats_to_dict` output.
+
+    Unknown keys (derived rates like ``ipc`` that ``as_dict`` adds, or
+    counters from a newer schema) are ignored, so old checkpoint files
+    stay loadable.
+    """
+    stats = PipelineStats()
+    for name in stats.__dataclass_fields__:
+        if name in data:
+            setattr(stats, name, data[name])
+    return stats
 
 
 @dataclass
@@ -21,6 +43,9 @@ class SimResult:
     #: SWQUE only: fraction of cycles in each mode (Figure 10).
     mode_fractions: Dict[str, float] = field(default_factory=dict)
     mode_switches: int = 0
+
+    #: Sweep-harness cell status (see :class:`FailedResult`).
+    ok = True
 
     @property
     def ipc(self) -> float:
@@ -38,6 +63,46 @@ class SimResult:
         )
         if self.mode_fractions:
             line += f"  circ-pc={self.mode_fractions.get('circ-pc', 0.0):4.0%}"
+        return line
+
+
+@dataclass
+class FailedResult:
+    """A sweep cell that failed permanently — failure as first-class data.
+
+    Produced by the harness (:mod:`repro.sim.harness`) when a job exhausts
+    its retries: the exception class and message, the full traceback, how
+    many attempts were made, and whatever partial progress the run made
+    before dying (``cycles`` executed and the partial
+    :class:`~repro.cpu.stats.PipelineStats` that exceptions like
+    :class:`~repro.cpu.pipeline.SimulationDiverged` carry).
+    """
+
+    workload: str
+    policy: str
+    config: str
+    error_type: str
+    error_message: str
+    traceback: str = ""
+    attempts: int = 1
+    cycles: int = 0
+    partial_stats: Optional[PipelineStats] = None
+
+    #: Sweep-harness cell status (mirrors :attr:`SimResult.ok`).
+    ok = False
+
+    @property
+    def ipc(self) -> float:
+        """Partial-progress IPC if any stats survived, else 0.0."""
+        return self.partial_stats.ipc if self.partial_stats else 0.0
+
+    def summary(self) -> str:
+        line = (
+            f"{self.workload:<12} {self.policy:<11} {self.config:<7} "
+            f"FAILED[{self.error_type}] after {self.attempts} attempt(s)"
+        )
+        if self.cycles:
+            line += f" at cycle {self.cycles}"
         return line
 
 

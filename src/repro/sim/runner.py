@@ -1,12 +1,22 @@
-"""Batch runners and plain-text result tables for the experiments."""
+"""Batch runners and plain-text result tables for the experiments.
+
+Both runners are thin fronts over the fault-tolerant sweep harness
+(:mod:`repro.sim.harness`): :func:`run_policies` keeps the historical
+fail-fast dict-of-dicts contract the experiments expect, while
+:func:`run_policies_resilient` returns the harness's full
+:class:`~repro.sim.harness.SweepReport` in which crashed or diverged
+cells are :class:`~repro.sim.results.FailedResult` data instead of a
+sweep-killing exception.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.config import MEDIUM, ProcessorConfig
+from repro.sim.harness import SweepFailed, make_grid, run_sweep
 from repro.sim.results import SimResult
-from repro.sim.simulator import DEFAULT_INSTRUCTIONS, simulate
+from repro.sim.simulator import DEFAULT_INSTRUCTIONS
 
 
 def run_policies(
@@ -18,19 +28,47 @@ def run_policies(
 ) -> Dict[str, Dict[str, SimResult]]:
     """Simulate every (workload, policy) pair; results[workload][policy].
 
-    The same generated trace is reused across policies for a workload, so
-    policy comparisons are on identical instruction streams.
+    The same generated trace is reused across policies for a workload
+    (the harness's inline trace cache), so policy comparisons are on
+    identical instruction streams.  The first failure is re-raised
+    immediately; use :func:`run_policies_resilient` to get partial
+    results instead.
     """
-    from repro.workloads.generator import generate_trace
-    from repro.workloads.spec2017 import get_profile
+    jobs = make_grid(
+        workloads, policies, configs=(config,),
+        num_instructions=num_instructions, seed=seed,
+    )
+    try:
+        report = run_sweep(jobs, executor="inline", retries=0, fail_fast=True)
+    except SweepFailed as exc:
+        original = getattr(exc.failure, "exception", None)
+        if original is not None:
+            raise original
+        raise
+    return report.by_workload()
 
-    results: Dict[str, Dict[str, SimResult]] = {}
-    for name in workloads:
-        trace = generate_trace(get_profile(name), num_instructions, seed=seed)
-        results[name] = {
-            policy: simulate(trace, policy, config=config) for policy in policies
-        }
-    return results
+
+def run_policies_resilient(
+    workloads: Sequence[str],
+    policies: Sequence[str],
+    config: ProcessorConfig = MEDIUM,
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: Optional[int] = None,
+    **sweep_kwargs,
+):
+    """Like :func:`run_policies`, but failures become result cells.
+
+    Extra keyword arguments (``timeout``, ``retries``, ``checkpoint``,
+    ``resume``, ``max_workers``, ``executor``, ...) pass straight through
+    to :func:`~repro.sim.harness.run_sweep`; the default executor here is
+    ``"inline"`` for parity with :func:`run_policies`.
+    """
+    sweep_kwargs.setdefault("executor", "inline")
+    jobs = make_grid(
+        workloads, policies, configs=(config,),
+        num_instructions=num_instructions, seed=seed,
+    )
+    return run_sweep(jobs, **sweep_kwargs)
 
 
 def format_table(

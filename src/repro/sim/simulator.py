@@ -19,6 +19,7 @@ from repro.core.swque import SwitchingQueue
 from repro.cpu.pipeline import Pipeline
 from repro.cpu.stats import PipelineStats
 from repro.cpu.trace import Trace
+from repro.sim.faults import FaultInjector, FaultSpec
 from repro.sim.results import SimResult
 from repro.workloads.generator import generate_trace
 from repro.workloads.profile import WorkloadProfile
@@ -50,6 +51,7 @@ def simulate(
     seed: Optional[int] = None,
     max_cycles: Optional[int] = None,
     warmup_instructions: Optional[int] = None,
+    faults: Optional[Union[FaultInjector, FaultSpec]] = None,
 ) -> SimResult:
     """Run one workload under one IQ policy and return the result.
 
@@ -62,7 +64,26 @@ def simulate(
     ``warmup_instructions`` (default: a quarter of the trace) are executed
     to warm caches and predictors before measurement starts, mirroring the
     paper's 16B-instruction skip.  Pass 0 to measure from a cold machine.
+
+    ``faults`` injects one chaos fault (see :mod:`repro.sim.faults`) —
+    used by the robustness tests and the sweep harness's failure drills.
     """
+    if not isinstance(workload, Trace) and num_instructions <= 0:
+        raise ValueError(
+            f"num_instructions must be positive, got {num_instructions}; "
+            "the trace generator needs at least one instruction to render"
+        )
+    if max_cycles is not None and max_cycles <= 0:
+        raise ValueError(
+            f"max_cycles must be positive (or None for the default "
+            f"divergence limit), got {max_cycles}"
+        )
+    if warmup_instructions is not None and warmup_instructions < 0:
+        raise ValueError(
+            f"warmup_instructions must be >= 0, got {warmup_instructions}"
+        )
+    if isinstance(faults, FaultSpec):
+        faults = FaultInjector(faults)
     trace = _resolve_trace(workload, num_instructions, seed)
     if warmup_instructions is None:
         # Cover at least two SWQUE switch intervals so cold-cache MPKI and
@@ -70,7 +91,7 @@ def simulate(
         warmup_instructions = min(20_000, len(trace) // 2)
     stats = PipelineStats()
     iq = build_issue_queue(policy, config, stats=stats, trace=trace)
-    pipeline = Pipeline(trace, config, iq, stats=stats)
+    pipeline = Pipeline(trace, config, iq, stats=stats, faults=faults)
     pipeline.run(max_cycles=max_cycles, warmup_instructions=warmup_instructions)
     mode_fractions = {}
     mode_switches = 0

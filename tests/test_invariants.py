@@ -1,0 +1,168 @@
+"""Chaos tests: fault injection must trip the always-on invariant guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MEDIUM
+from repro.core.base import InvariantViolation
+from repro.core.factory import build_issue_queue
+from repro.core.swque import MODE_AGE, MODE_CIRC_PC, SwitchingQueue
+from repro.cpu.pipeline import Pipeline, SimulationDiverged
+from repro.cpu.stats import PipelineStats
+from repro.sim.faults import FAULT_KINDS, FaultInjector, FaultSpec, InjectedFault
+from repro.sim.simulator import simulate
+
+N = 3000
+
+
+def build_pipeline(policy="age", n=N):
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec2017 import get_profile
+
+    trace = generate_trace(get_profile("exchange2"), n)
+    stats = PipelineStats()
+    iq = build_issue_queue(policy, MEDIUM, stats=stats, trace=trace)
+    return Pipeline(trace, MEDIUM, iq, stats=stats)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("flip-bits")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="at_cycle"):
+            FaultSpec("crash", at_cycle=-1)
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec("crash", count=0)
+
+    def test_all_kinds_are_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultInjector(FaultSpec(kind))
+
+
+class TestFaultInjectionModes:
+    """Each chaos mode must be caught by the matching guard."""
+
+    def test_drop_wakeup_degrades_to_divergence_with_partial_stats(self):
+        # Dropping every tag broadcast from cycle 200 on starves the ready
+        # set; the divergence watchdog must catch the stall and keep the
+        # partial progress.
+        with pytest.raises(SimulationDiverged) as excinfo:
+            simulate("exchange2", "age", num_instructions=2000,
+                     max_cycles=5000,
+                     faults=FaultSpec("drop-wakeup", at_cycle=200, count=10**9))
+        exc = excinfo.value
+        assert exc.partial_stats is not None
+        assert 0 < exc.partial_stats.committed < 2000
+        assert exc.cycles == 5001
+
+    def test_single_dropped_wakeup_is_recovered_by_squash_replay(self):
+        # One lost broadcast is repairable: a later mispredict squash
+        # re-dispatches the starved consumer, so the run still finishes.
+        result = simulate("exchange2", "age", num_instructions=2000,
+                          warmup_instructions=0,
+                          faults=FaultSpec("drop-wakeup", at_cycle=200))
+        assert result.stats.committed == 2000
+
+    @pytest.mark.parametrize("policy", ["age", "swque"])
+    def test_corrupt_ready_bit_trips_issue_unready(self, policy):
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate("exchange2", policy, num_instructions=N,
+                     max_cycles=20_000,
+                     faults=FaultSpec("corrupt-ready", at_cycle=200))
+        exc = excinfo.value
+        assert exc.check == "issue-unready"
+        assert exc.cycle is not None and exc.cycle >= 200
+        assert exc.partial_stats is not None
+
+    @pytest.mark.parametrize("policy", ["age", "circ-pc"])
+    def test_readded_issued_instruction_trips_double_issue(self, policy):
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate("exchange2", policy, num_instructions=N,
+                     max_cycles=20_000,
+                     faults=FaultSpec("readd-issued", at_cycle=200))
+        assert excinfo.value.check == "double-issue"
+
+    def test_forced_mode_switch_trips_swque_consistency(self):
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate("exchange2", "swque", num_instructions=N,
+                     faults=FaultSpec("force-switch", at_cycle=200))
+        exc = excinfo.value
+        assert exc.check == "swque-mode"
+        assert exc.cycle == 200
+
+    def test_force_switch_needs_a_switching_queue(self):
+        with pytest.raises(ValueError, match="needs a SWQUE"):
+            simulate("exchange2", "age", num_instructions=N,
+                     faults=FaultSpec("force-switch", at_cycle=10))
+
+    def test_injected_crash_raises_at_the_armed_cycle(self):
+        with pytest.raises(InjectedFault, match="cycle 150"):
+            simulate("exchange2", "age", num_instructions=N,
+                     faults=FaultSpec("crash", at_cycle=150))
+
+
+class TestGuardLayer:
+    """Direct corruption of pipeline state must be caught within a cycle."""
+
+    def run_until_violation(self, pipeline, max_steps=2000):
+        for _ in range(max_steps):
+            pipeline.step()
+        raise AssertionError("no invariant violation fired")
+
+    def test_iq_occupancy_out_of_bounds(self):
+        pipeline = build_pipeline()
+        for _ in range(50):
+            pipeline.step()
+        pipeline.iq.occupancy = pipeline.iq.size + 3
+        with pytest.raises(InvariantViolation) as excinfo:
+            pipeline.step()
+        assert excinfo.value.check == "iq-occupancy"
+
+    def test_rob_over_capacity(self):
+        pipeline = build_pipeline()
+        # Fill the window well past one commit group, then shrink the
+        # capacity underneath it: the next cycle's guard must fire even
+        # after that cycle's commits drain up to ``width`` entries.
+        want = 2 * pipeline.config.width + 1
+        for _ in range(2000):
+            if len(pipeline.rob) >= want:
+                break
+            pipeline.step()
+        assert len(pipeline.rob) >= want
+        pipeline.rob.capacity = 1
+        with pytest.raises(InvariantViolation) as excinfo:
+            pipeline.step()
+        assert excinfo.value.check == "rob-occupancy"
+
+    def test_commit_order_monotonicity(self):
+        pipeline = build_pipeline()
+        pipeline._last_commit_seq = 10**9  # pretend we already committed far ahead
+        with pytest.raises(InvariantViolation) as excinfo:
+            self.run_until_violation(pipeline)
+        assert excinfo.value.check == "commit-order"
+
+    def test_swque_mode_label_corruption(self):
+        stats = PipelineStats()
+        iq = SwitchingQueue(32, 4, stats=stats)
+        iq.check_invariants()  # consistent at construction
+        iq.mode = "turbo"
+        with pytest.raises(InvariantViolation, match="unknown mode"):
+            iq.check_invariants()
+
+    def test_swque_active_queue_mismatch(self):
+        stats = PipelineStats()
+        iq = SwitchingQueue(32, 4, stats=stats)
+        iq.mode = MODE_AGE  # label flipped without reconfiguring
+        with pytest.raises(InvariantViolation) as excinfo:
+            iq.check_invariants()
+        assert excinfo.value.check == "swque-mode"
+        assert "active sub-queue" in excinfo.value.detail
+
+    def test_guards_are_silent_on_a_healthy_run(self):
+        # The always-on layer must never fire during normal operation.
+        result = simulate("exchange2", "swque", num_instructions=N,
+                          warmup_instructions=0)
+        assert result.stats.committed == N
