@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Catch a silently-wrong simulation, capture its state, and replay it.
+
+Injects a *stealth* ready-bit corruption: self-consistent, so every
+structural invariant guard passes — without the golden reference model
+the run completes "cleanly" with plausible (wrong) IPC.  With
+``verify=True`` the oracle catches the architectural dataflow violation
+at the exact commit where it surfaces, and ``failure_snapshot_dir``
+leaves a checksummed pre-crash snapshot behind.  The script then replays
+that snapshot with per-cycle tracing and reproduces the same mismatch at
+the same cycle — turning the failure into a debuggable artifact.
+
+    python examples/replay_failure.py [instructions]
+
+Equivalent CLI (once a failure snapshot exists):
+
+    python -m repro replay <snapshot>.snap
+"""
+
+import pathlib
+import sys
+import tempfile
+
+from repro.sim.faults import FaultSpec
+from repro.sim.simulator import simulate
+from repro.verify import ArchitecturalMismatch, load_snapshot, replay
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    snapdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-snap-"))
+    fault = FaultSpec(kind="corrupt-ready", at_cycle=1000, stealth=True)
+
+    print("=== 1. the corruption is invisible to the structural guards ===")
+    result = simulate("exchange2", "age", num_instructions=instructions,
+                      faults=fault)
+    print(f"run 'completed': IPC={result.ipc:.3f}  <- plausible and WRONG\n")
+
+    print("=== 2. the golden model catches it at the offending commit ===")
+    try:
+        simulate("exchange2", "age", num_instructions=instructions,
+                 faults=fault, verify=True, failure_snapshot_dir=snapdir)
+    except ArchitecturalMismatch as exc:
+        print(f"{type(exc).__name__} [{exc.check}]: {exc}")
+        print("\nlast commits before divergence:")
+        print(exc.recent_summary())
+        snapshot_path = exc.snapshot_path
+    else:
+        raise SystemExit("expected the oracle to catch the stealth fault")
+
+    print(f"\n=== 3. replay the pre-crash snapshot: {snapshot_path} ===")
+    snapshot = load_snapshot(snapshot_path)
+    print(snapshot.meta.summary())
+    outcome = replay(snapshot, trace=False)
+    print(outcome.summary())
+    assert not outcome.ok and isinstance(outcome.error, ArchitecturalMismatch)
+    print("\nreplay reproduced the recorded failure bit-for-bit; run")
+    print(f"    python -m repro replay {snapshot_path}")
+    print("for the full per-cycle trace.")
+
+
+if __name__ == "__main__":
+    main()

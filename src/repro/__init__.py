@@ -17,16 +17,31 @@ Public surface:
 * :mod:`repro.workloads` -- the SPEC2017-like synthetic workload suite.
 * :mod:`repro.power` -- energy / area / delay models for the IQ circuits.
 * :mod:`repro.sim.experiments` -- one function per paper figure and table.
+* :mod:`repro.verify` -- golden-model lockstep validation, checksummed
+  state snapshots with bit-identical resume, and failure replay.
 """
 
+from repro._version import __version__
 from repro.config import LARGE, MEDIUM, ProcessorConfig, SwqueParams
 from repro.sim.results import FailedResult, SimResult, geomean, speedup
 from repro.sim.simulator import simulate
 from repro.sim.harness import SweepJob, SweepReport, make_grid, run_sweep
-
-__version__ = "1.0.0"
+from repro.verify import (
+    ArchitecturalMismatch,
+    GoldenModel,
+    Snapshot,
+    load_snapshot,
+    replay,
+    write_snapshot,
+)
 
 __all__ = [
+    "ArchitecturalMismatch",
+    "GoldenModel",
+    "Snapshot",
+    "load_snapshot",
+    "replay",
+    "write_snapshot",
     "LARGE",
     "MEDIUM",
     "ProcessorConfig",

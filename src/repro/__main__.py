@@ -3,10 +3,12 @@
 Examples::
 
     python -m repro run deepsjeng swque --instructions 60000
+    python -m repro run exchange2 swque --verify        # golden-model lockstep
     python -m repro compare exchange2 --policies shift age swque
     python -m repro experiment fig8 --instructions 40000
     python -m repro sweep --policies age swque --timeout 600 --retries 2 \\
-        --checkpoint sweep.jsonl --resume
+        --checkpoint sweep.jsonl --resume --snapshot-failures snaps/
+    python -m repro replay snaps/mcf-swque-medium-c12000-failed.snap
     python -m repro list
 """
 
@@ -54,6 +56,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("policy", choices=IQ_POLICIES)
     run.add_argument("--instructions", type=int, default=60_000)
     run.add_argument("--large", action="store_true", help="use the large model")
+    run.add_argument("--verify", action="store_true",
+                     help="cross-check every commit against the golden "
+                          "reference model (lockstep architectural oracle)")
 
     compare = sub.add_parser("compare", help="compare IQ policies on one workload")
     compare.add_argument("workload", choices=sorted(SPEC2017_PROFILES))
@@ -98,6 +103,22 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--resume", action="store_true",
                        help="restore finished cells from --checkpoint and run "
                             "only the rest")
+    sweep.add_argument("--snapshot-failures", default=None, metavar="DIR",
+                       help="write a pre-crash simulator snapshot for every "
+                            "failed cell into DIR (replay with "
+                            "'python -m repro replay')")
+
+    replay = sub.add_parser(
+        "replay",
+        help="restore a failure snapshot and re-run it with per-cycle tracing",
+    )
+    replay.add_argument("snapshot", help="path to a .snap file")
+    replay.add_argument("--cycles", type=int, default=None,
+                        help="stop after this many replayed cycles "
+                             "(default: run to completion or failure)")
+    replay.add_argument("--no-trace", action="store_true",
+                        help="suppress the per-cycle trace, print only the "
+                             "outcome")
 
     sub.add_parser("list", help="list workloads and policies")
     return parser
@@ -116,9 +137,30 @@ def main(argv=None) -> int:
     if args.command == "run":
         config = LARGE if args.large else MEDIUM
         result = simulate(args.workload, args.policy, config=config,
-                          num_instructions=args.instructions)
+                          num_instructions=args.instructions,
+                          verify=args.verify)
         print(result.summary())
+        if args.verify:
+            print(f"verified: golden model matched all "
+                  f"{result.stats.committed} commits "
+                  f"(digest {result.commit_digest})")
         return 0
+    if args.command == "replay":
+        from repro.verify.replay import replay as run_replay
+        from repro.verify.snapshot import SnapshotError, load_snapshot
+
+        try:
+            snapshot = load_snapshot(args.snapshot)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.no_trace:  # replay() prints the header itself when tracing
+            print(snapshot.meta.summary())
+        outcome = run_replay(
+            snapshot, cycles=args.cycles, trace=not args.no_trace
+        )
+        print(outcome.summary())
+        return 0 if outcome.ok else 1
     if args.command == "compare":
         config = LARGE if args.large else MEDIUM
         results = run_policies([args.workload], args.policies, config=config,
@@ -150,6 +192,7 @@ def main(argv=None) -> int:
             backoff=args.backoff,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            snapshot_failures=args.snapshot_failures,
             on_result=lambda job, result: print(result.summary(), flush=True),
         )
         print()

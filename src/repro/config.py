@@ -169,3 +169,22 @@ def scaled_iq_config(base: ProcessorConfig, iq_entries: int) -> ProcessorConfig:
     if iq_entries < base.issue_width:
         raise ValueError("IQ must hold at least one issue group")
     return replace(base, name=f"{base.name}-iq{iq_entries}", iq_entries=iq_entries)
+
+
+def config_digest(config: ProcessorConfig) -> str:
+    """Short content hash of every configuration field (provenance).
+
+    Two configurations share a digest iff every field (including nested
+    cache/branch/SWQUE parameters) is equal -- unlike ``config.name``,
+    which ``dataclasses.replace`` copies can reuse or shadow.  Recorded
+    on results and harness records so a sweep cell can always be tied
+    back to the exact parameters that produced it.
+    """
+    import dataclasses
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]

@@ -52,7 +52,8 @@ class HierarchicalQueue(IssueQueue):
         self._slow: List[DynInst] = []
         self._fast: List[DynInst] = []
         #: Ready slow-queue instructions become issuable only after the
-        #: slow scheduling loop: (inst, earliest_issue_cycle).
+        #: slow scheduling loop: seq -> earliest_issue_cycle.  Keyed by
+        #: ``seq`` (stable across snapshot/restore), never ``id()``.
         self._slow_ready_at: dict = {}
         self.moves = 0
 
@@ -85,7 +86,7 @@ class HierarchicalQueue(IssueQueue):
             if not inst.ready:
                 self._slow.pop(index)
                 self._fast.append(inst)
-                self._slow_ready_at.pop(id(inst), None)
+                self._slow_ready_at.pop(inst.seq, None)
                 moved += 1
                 space -= 1
             else:
@@ -141,7 +142,7 @@ class HierarchicalQueue(IssueQueue):
             if id(inst) in fast_ids or any(inst is g for g in granted):
                 continue
             ready_at = self._slow_ready_at.setdefault(
-                id(inst), cycle + self.SLOW_LATENCY
+                inst.seq, cycle + self.SLOW_LATENCY
             )
             if cycle < ready_at:
                 continue
@@ -159,7 +160,7 @@ class HierarchicalQueue(IssueQueue):
                     del queue[idx]
                     inst.in_iq = False
                     self.occupancy -= 1
-                    self._slow_ready_at.pop(id(inst), None)
+                    self._slow_ready_at.pop(inst.seq, None)
                     return
         raise KeyError(f"instruction #{inst.seq} not in HSW window")
 

@@ -21,7 +21,7 @@ one-cycle minimum IQ residency of real wakeup-select loops.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.config import ProcessorConfig
 from repro.core.base import InvariantViolation, IssueQueue
@@ -36,9 +36,17 @@ from repro.cpu.rob import ReorderBuffer
 from repro.cpu.stats import PipelineStats
 from repro.cpu.trace import Trace
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.verify.oracle import ArchitecturalMismatch, CommitDigest, GoldenModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.faults import FaultInjector
+
+#: Forward-progress watchdog default: the longest commit-free stretch a
+#: healthy run can plausibly produce (deep dependent-miss chains stall for
+#: hundreds of cycles; 20k is an order of magnitude beyond any legitimate
+#: stall yet far below the divergence cycle limit, so livelocks surface as
+#: a diagnostic instead of a silent ``max_cycles`` timeout).
+DEFAULT_WATCHDOG_INTERVAL = 20_000
 
 
 class SimulationDiverged(RuntimeError):
@@ -60,6 +68,33 @@ class SimulationDiverged(RuntimeError):
         self.cycles = cycles
 
 
+class CommitStall(SimulationDiverged):
+    """The forward-progress watchdog fired: no commit for N cycles.
+
+    A commit stall is a livelock or deadlock *diagnosed at the moment it
+    is happening*, with the evidence attached: per-stage occupancy
+    (``diagnostics``), a description of the oldest ROB entry and what it
+    is waiting for (``oldest``), and the IQ mode.  Subclassing
+    :class:`SimulationDiverged` keeps every existing caller working, but
+    the harness treats it as *permanent* (deterministic stalls do not go
+    away on retry), unlike a budget-dependent divergence timeout.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        diagnostics: Dict[str, object],
+        oldest: str,
+        stall_cycles: int,
+        partial_stats: Optional[PipelineStats] = None,
+        cycles: int = 0,
+    ) -> None:
+        super().__init__(message, partial_stats=partial_stats, cycles=cycles)
+        self.diagnostics = diagnostics
+        self.oldest = oldest
+        self.stall_cycles = stall_cycles
+
+
 class Pipeline:
     """One core: trace in, :class:`~repro.cpu.stats.PipelineStats` out."""
 
@@ -71,7 +106,14 @@ class Pipeline:
         hierarchy: Optional[MemoryHierarchy] = None,
         stats: Optional[PipelineStats] = None,
         faults: Optional["FaultInjector"] = None,
+        oracle: Optional[GoldenModel] = None,
+        watchdog_interval: Optional[int] = DEFAULT_WATCHDOG_INTERVAL,
     ) -> None:
+        if watchdog_interval is not None and watchdog_interval <= 0:
+            raise ValueError(
+                f"watchdog_interval must be positive (or None to disable), "
+                f"got {watchdog_interval}"
+            )
         self.trace = trace
         self.config = config
         self.iq = iq
@@ -90,10 +132,46 @@ class Pipeline:
         self.cycle = 0
         #: Optional chaos hook (see :mod:`repro.sim.faults`).
         self.faults = faults
+        #: Optional golden-model lockstep hook (see :mod:`repro.verify.oracle`).
+        self.oracle = oracle
+        #: Always-on streaming fingerprint of the commit stream.
+        self.commit_digest = CommitDigest()
+        #: Forward-progress watchdog horizon in cycles (None disables).
+        self.watchdog_interval = watchdog_interval
+        self._last_commit_cycle = 0
         # Guard state: sequence number of the last committed instruction.
         self._last_commit_seq = -1
+        #: Caller-attached run identity (workload/policy/seed), recorded in
+        #: snapshots and results for provenance.  Set by ``simulate``.
+        self.run_provenance: Dict[str, object] = {}
+        # Periodic-snapshot hook: every ``snapshot_interval`` cycles the
+        # sink is called with the pipeline at a clean cycle boundary.
+        self.snapshot_interval: Optional[int] = None
+        self.snapshot_sink: Optional[Callable[["Pipeline"], None]] = None
+        self._next_snapshot_cycle = 0
+        # Run-loop state lives on the pipeline (not in run() locals) so a
+        # snapshotted run resumes with the same cycle limit and warmup
+        # bookkeeping as the uninterrupted one.
+        self._run_started = False
+        self._run_limit = 0
+        self._warm_pending = False
+        self._warmup_target = 0
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The snapshot sink is typically a closure (not picklable) and a
+        # restored run should not silently re-write snapshot files; both
+        # it and the cadence are re-armed explicitly after a restore.
+        state = self.__dict__.copy()
+        state["snapshot_sink"] = None
+        state["snapshot_interval"] = None
+        return state
 
     # -- top level ----------------------------------------------------------------
+
+    @property
+    def run_limit(self) -> int:
+        """Divergence cycle limit of the active run."""
+        return self._run_limit
 
     def run(
         self,
@@ -107,11 +185,34 @@ class Pipeline:
         warm-predictor steady state (the paper skips 16B instructions for
         the same reason).
         """
-        limit = max_cycles if max_cycles is not None else 120 * len(self.trace) + 50_000
-        warm_pending = 0 < warmup_instructions < len(self.trace)
+        if self._run_started:
+            raise RuntimeError(
+                "this pipeline's run already started; use resume() to "
+                "continue it (run parameters are fixed at the first call)"
+            )
+        self._run_limit = (
+            max_cycles if max_cycles is not None else 120 * len(self.trace) + 50_000
+        )
+        self._warm_pending = 0 < warmup_instructions < len(self.trace)
+        self._warmup_target = warmup_instructions
+        self._run_started = True
+        return self._run_loop()
+
+    def resume(self) -> PipelineStats:
+        """Continue an interrupted (snapshotted) run to completion.
+
+        Picks up the cycle limit and warmup bookkeeping captured when the
+        run started, so restore -> resume is bit-identical to never having
+        stopped.
+        """
+        if not self._run_started:
+            raise RuntimeError("nothing to resume; call run() first")
+        return self._run_loop()
+
+    def _run_loop(self) -> PipelineStats:
         try:
             while self.rob or self.frontend.has_more():
-                if self.cycle > limit:
+                if self.cycle > self._run_limit:
                     raise SimulationDiverged(
                         f"no convergence after {self.cycle} cycles "
                         f"(committed {self.stats.committed}/{len(self.trace)})",
@@ -119,13 +220,15 @@ class Pipeline:
                         cycles=self.cycle,
                     )
                 self.step()
-                if warm_pending and self.stats.committed >= warmup_instructions:
+                if self._warm_pending and self.stats.committed >= self._warmup_target:
                     self.stats.reset()
-                    warm_pending = False
-        except InvariantViolation as exc:
+                    self._warm_pending = False
+            if self.oracle is not None:
+                self.oracle.check_final(self.stats.committed)
+        except (InvariantViolation, ArchitecturalMismatch) as exc:
             # Fill in the run context before the violation escapes, so the
             # harness can report how far the simulation got.
-            if exc.cycle is None:
+            if exc.cycle is None or exc.cycle < 0:
                 exc.cycle = self.cycle
             if exc.committed is None:
                 exc.committed = self.stats.committed
@@ -150,6 +253,12 @@ class Pipeline:
         self._check_invariants(cycle)
         self.cycle += 1
         self.stats.cycles += 1
+        if (
+            self.snapshot_sink is not None
+            and self.cycle >= self._next_snapshot_cycle
+        ):
+            self._next_snapshot_cycle = self.cycle + (self.snapshot_interval or 1)
+            self.snapshot_sink(self)
 
     # -- invariant guards ------------------------------------------------------------
 
@@ -169,6 +278,83 @@ class Pipeline:
                 cycle=cycle,
             )
         self.iq.check_invariants()
+        if (
+            self.watchdog_interval is not None
+            and cycle - self._last_commit_cycle >= self.watchdog_interval
+        ):
+            raise self._commit_stall(cycle)
+
+    # -- forward-progress watchdog ----------------------------------------------------
+
+    def _describe_oldest(self) -> str:
+        """The oldest ROB entry and its unsatisfied wait conditions."""
+        head = self.rob.head()
+        if head is None:
+            return (
+                "ROB empty: the front end is not delivering instructions "
+                f"(fetch_seq={self.frontend.fetch_seq}/{len(self.trace)}, "
+                f"resume_cycle={self.frontend.resume_cycle}, "
+                f"wrong_path={self.frontend.wrong_path_mode})"
+            )
+        desc = f"#{head.seq} {head.op.value} dispatched at {head.dispatch_cycle}"
+        if head.completed:
+            return desc + " is completed but was not committed (commit logic stuck)"
+        if head.issued:
+            finish = next(
+                (c for c, insts in self._events.items() if head in insts), None
+            )
+            if finish is None:
+                return desc + (
+                    f" issued at {head.issue_cycle} but has NO pending "
+                    "completion event (lost in flight)"
+                )
+            return desc + f" issued at {head.issue_cycle}, completes at {finish}"
+        if head.pending_sources:
+            producers = [
+                f"#{p.seq}({'done' if p.completed else 'in-flight'})"
+                for p in self.rob
+                if head in p.consumers
+            ]
+            return desc + (
+                f" waits on {head.pending_sources} operand(s); known "
+                f"producers: {', '.join(producers) if producers else 'NONE IN ROB'}"
+            )
+        in_ready = any(candidate is head for candidate in self.iq.ready)
+        return desc + (
+            " is ready "
+            + ("and in the ready set" if in_ready else "but NOT in the ready set")
+            + f" (in_iq={head.in_iq}); it is never being selected"
+        )
+
+    def _commit_stall(self, cycle: int) -> CommitStall:
+        """Build the watchdog diagnostic for a commit-free stretch."""
+        stall = cycle - self._last_commit_cycle
+        diagnostics: Dict[str, object] = {
+            "rob": f"{len(self.rob)}/{self.rob.capacity}",
+            "iq": f"{self.iq.occupancy}/{self.iq.size}",
+            "iq_ready": len(self.iq.ready),
+            "iq_mode": getattr(self.iq, "mode", self.iq.name),
+            "lsq": f"{len(self.lsq)}/{self.lsq.capacity}",
+            "free_int_regs": self.rename.free_int,
+            "free_fp_regs": self.rename.free_fp,
+            "inflight_completions": sum(len(v) for v in self._events.values()),
+            "fetch_seq": self.frontend.fetch_seq,
+            "fetch_stalled": self.frontend.stalled(cycle),
+            "wrong_path": self.frontend.wrong_path_mode,
+            "last_commit_cycle": self._last_commit_cycle,
+        }
+        oldest = self._describe_oldest()
+        detail = ", ".join(f"{k}={v}" for k, v in diagnostics.items())
+        return CommitStall(
+            f"no commit for {stall} cycles (watchdog horizon "
+            f"{self.watchdog_interval}) at cycle {cycle}: livelock or "
+            f"deadlock. Oldest ROB entry: {oldest}. Stage state: {detail}",
+            diagnostics=diagnostics,
+            oldest=oldest,
+            stall_cycles=stall,
+            partial_stats=self.stats,
+            cycles=cycle,
+        )
 
     # -- stages ---------------------------------------------------------------------
 
@@ -205,10 +391,29 @@ class Pipeline:
                     cycle=cycle,
                 )
             self._last_commit_seq = head.seq
+            if self.oracle is not None:
+                self.oracle.check_commit(head, cycle, committed)
+            self.commit_digest.update(
+                head.seq,
+                head.trace.pc,
+                head.dispatch_cycle,
+                head.issue_cycle,
+                head.complete_cycle,
+            )
             if head.trace.mem_addr is not None:
                 self.lsq.release(head)
             self.rename.release(head)
+            # Sever the committed instruction's outbound graph edges: its
+            # broadcasts all happened (completion precedes commit) and it
+            # can never be unwound, but the prev_writer/consumers links
+            # would otherwise chain every DynInst of the run into one
+            # unboundedly deep, unboundedly large object graph (a memory
+            # leak, and a recursion bomb for snapshot serialization).
+            head.prev_writer = None
+            head.consumers = []
             committed += 1
+        if committed:
+            self._last_commit_cycle = cycle
         self.stats.committed += committed
         self.iq.note_commit(committed, self.stats.llc_misses)
 

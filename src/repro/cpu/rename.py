@@ -67,8 +67,17 @@ class RenameUnit:
         """
         dest = inst.trace.dest
         if dest is not None and self._map.get(dest) is inst:
-            if inst.prev_writer is not None and not inst.prev_writer.squashed:
-                self._map[dest] = inst.prev_writer
+            # Walk past squashed intermediate writers: with several squashed
+            # writers of the same register, restoring only one level deep
+            # would drop the map entry and lose the dependence edge to a
+            # still-in-flight older producer (consumers would then issue
+            # before that producer completes -- an architectural violation
+            # the golden model catches).
+            writer = inst.prev_writer
+            while writer is not None and writer.squashed:
+                writer = writer.prev_writer
+            if writer is not None:
+                self._map[dest] = writer
             else:
                 self._map.pop(dest, None)
         self.release(inst)

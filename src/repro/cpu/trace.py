@@ -105,9 +105,17 @@ class Trace:
     to an earlier sequence number.
     """
 
-    def __init__(self, instructions: Sequence[TraceInstruction], name: str = "") -> None:
+    def __init__(
+        self,
+        instructions: Sequence[TraceInstruction],
+        name: str = "",
+        seed: Optional[int] = None,
+    ) -> None:
         self._instructions: List[TraceInstruction] = list(instructions)
         self.name = name
+        #: Generator seed this trace was rendered from (None when unknown,
+        #: e.g. a hand-built trace); recorded into result provenance.
+        self.seed = seed
         for idx, inst in enumerate(self._instructions):
             if inst.seq != idx:
                 raise ValueError(

@@ -19,6 +19,26 @@ handle:
     Re-insert an already-issued, not-yet-completed instruction into the
     ready set; the ``double-issue`` guard must fire.
 ``force-switch``
+    (see below)
+
+The ready-set kinds also have a **stealth** form (``stealth=True``)
+modelling the scarier version of the same hardware bug: the corruption
+is *self-consistent*, so every occupancy/flag guard passes and the run
+completes without a single invariant firing — silently wrong.  Only the
+golden reference model (``verify=True``) catches it, as an
+:class:`~repro.verify.oracle.ArchitecturalMismatch`:
+
+* stealth ``corrupt-ready`` clears the victim's pending-source count
+  *and* detaches it from its producers' consumer lists (the bookkeeping
+  a real lost-SRAM-bit leaves consistent), so the victim issues before
+  its producer completes — a dataflow-order violation only the oracle
+  sees.
+* stealth ``readd-issued`` re-dispatches an in-flight instruction and
+  clears its issued flag, so it executes twice; the duplicate completion
+  broadcast wrongly decrements consumers still waiting on a *different*
+  producer, which then issue early — again caught only at the oracle's
+  commit-time dataflow check.
+``force-switch``
     Flip SWQUE's mode label without reconfiguring the sub-queues, the
     exact corruption the ``swque-mode`` consistency guard watches for.
 ``crash``
@@ -70,11 +90,20 @@ class FaultSpec:
     hang_seconds: float = 3600.0
     #: ``crash`` only: die via ``os._exit`` (no traceback, like a segfault).
     hard: bool = False
+    #: ``corrupt-ready``/``readd-issued`` only: make the corruption
+    #: self-consistent so the structural guards pass and only the golden
+    #: model catches it (see module docstring).
+    stealth: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.stealth and self.kind not in ("corrupt-ready", "readd-issued"):
+            raise ValueError(
+                f"stealth only applies to the ready-set fault kinds, "
+                f"not {self.kind!r}"
             )
         if self.at_cycle < 0:
             raise ValueError("fault at_cycle must be >= 0")
@@ -116,10 +145,16 @@ class FaultInjector:
             self._corrupt_mode(pipeline)
             return
         if spec.kind == "corrupt-ready":
-            self._corrupt_ready(pipeline, want_pending=True)
+            if spec.stealth:
+                self._stealth_corrupt_ready(pipeline)
+            else:
+                self._corrupt_ready(pipeline, want_pending=True)
             return
         if spec.kind == "readd-issued":
-            self._corrupt_ready(pipeline, want_pending=False)
+            if spec.stealth:
+                self._stealth_readd_issued(pipeline)
+            else:
+                self._corrupt_ready(pipeline, want_pending=False)
 
     def drop_wakeup(self, inst: "DynInst") -> bool:
         """``drop-wakeup`` hook: True means *suppress* this tag broadcast."""
@@ -153,4 +188,98 @@ class FaultInjector:
                 self.fired += 1
                 pipeline.iq.ready.append(inst)
                 return
+        # No victim this cycle; stay armed and retry next cycle.
+
+    def _stealth_corrupt_ready(self, pipeline: "Pipeline") -> None:
+        """Self-consistent early-ready corruption; only the oracle sees it.
+
+        The victim's pending-source count is cleared *and* it is removed
+        from its producers' consumer lists, so no guard ever observes an
+        inconsistency: no double wakeup, no negative pending count, no
+        issue-unready.  The victim simply issues before its producer has
+        produced -- an architectural dataflow violation.
+        """
+        for inst in pipeline.rob:
+            if inst.squashed or inst.wrong_path or not inst.in_iq or inst.issued:
+                continue
+            if inst.pending_sources <= 0:
+                continue
+            # Prefer a victim whose producer has not even issued yet, so
+            # the producer is guaranteed to complete strictly after the
+            # victim's (corrupted) issue.  Wrong-path victims never
+            # commit, so the oracle would never see the damage.
+            producers = [
+                p for p in pipeline.rob
+                if not p.squashed and not p.completed and inst in p.consumers
+            ]
+            if not any(not p.issued for p in producers):
+                continue
+            self.fired += 1
+            for producer in producers:
+                producer.consumers.remove(inst)
+            inst.pending_sources = 0
+            pipeline.iq.wakeup(inst)
+            return
+        # No victim this cycle; stay armed and retry next cycle.
+
+    def _stealth_readd_issued(self, pipeline: "Pipeline") -> None:
+        """Self-consistent double-issue corruption; only the oracle sees it.
+
+        An in-flight instruction is re-dispatched with its issued flag
+        cleared, so it executes (and broadcasts) twice without tripping
+        the double-issue guard.  The duplicate broadcast decrements
+        consumers that still wait on a *different* producer; they go
+        "ready" with an operand missing and issue early -- caught only by
+        the oracle's commit-time dataflow check.
+        """
+        if not pipeline.iq.can_dispatch():
+            return  # retry when the queue has room
+
+        def slow_producer(consumer: "DynInst", fast: "DynInst") -> bool:
+            # A second producer that has not even issued (and is itself
+            # still waiting on operands) completes long after the
+            # duplicate broadcast wakes `consumer` -- guaranteeing the
+            # early issue is architecturally illegal, and late enough
+            # that `consumer` has left the queue before its pending
+            # count is driven negative (which a guard would notice).
+            return any(
+                q is not fast
+                and not q.squashed
+                and not q.wrong_path
+                and not q.issued
+                and q.pending_sources > 0
+                and consumer in q.consumers
+                for q in pipeline.rob
+            )
+
+        blocked = False  # an un-issued older instruction precedes the victim
+        for inst in pipeline.rob:
+            if inst.squashed:
+                continue
+            if not inst.issued:
+                blocked = True
+            if inst.wrong_path or not inst.issued or inst.completed:
+                continue
+            # Commit must stay blocked until both completions have
+            # broadcast (commit severs the consumer edges), so the victim
+            # needs an older instruction that has not even issued yet.
+            if not blocked:
+                continue
+            # The dataflow damage needs a consumer that waits on this
+            # instruction AND one other (slow) in-flight producer.  Keep
+            # to the right path: wrong-path instructions never commit, so
+            # damage there is invisible to the oracle.
+            if not any(
+                not c.squashed
+                and not c.wrong_path
+                and c.pending_sources == 2
+                and slow_producer(c, inst)
+                for c in inst.consumers
+            ):
+                continue
+            self.fired += 1
+            inst.issued = False
+            pipeline.iq.dispatch(inst)
+            pipeline.iq.wakeup(inst)
+            return
         # No victim this cycle; stay armed and retry next cycle.

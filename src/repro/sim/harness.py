@@ -35,6 +35,7 @@ import multiprocessing
 import os
 import time
 import traceback
+import warnings
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -58,6 +59,7 @@ from repro.sim.results import (
     stats_to_dict,
 )
 from repro.sim.simulator import DEFAULT_INSTRUCTIONS, simulate
+from repro.verify.snapshot import write_bytes_atomic
 
 CellResult = Union[SimResult, FailedResult]
 
@@ -173,8 +175,17 @@ def _validate_jobs(jobs: Sequence[SweepJob]) -> None:
 # -- single-job execution -----------------------------------------------------------
 
 
-def _run_job(job: SweepJob, _trace_cache: Optional[dict] = None) -> SimResult:
-    """Execute one cell (in the caller's process); may raise."""
+def _run_job(
+    job: SweepJob,
+    _trace_cache: Optional[dict] = None,
+    snapshot_dir: Optional[Path] = None,
+) -> SimResult:
+    """Execute one cell (in the caller's process); may raise.
+
+    ``snapshot_dir`` arms the simulator's pre-crash snapshot: a failing
+    run leaves a replayable state capture behind and attaches its path
+    to the exception.
+    """
     workload = job.workload
     if _trace_cache is not None and isinstance(workload, str):
         from repro.workloads.generator import generate_trace
@@ -197,6 +208,7 @@ def _run_job(job: SweepJob, _trace_cache: Optional[dict] = None) -> SimResult:
         max_cycles=job.max_cycles,
         warmup_instructions=job.warmup_instructions,
         faults=job.fault,
+        failure_snapshot_dir=snapshot_dir,
     )
 
 
@@ -210,13 +222,14 @@ def _error_info(exc: BaseException) -> dict:
         "traceback": traceback.format_exc(),
         "cycles": int(cycles),
         "stats": stats_to_dict(stats) if stats is not None else None,
+        "snapshot_path": getattr(exc, "snapshot_path", None),
     }
 
 
-def _worker_main(job: SweepJob, conn) -> None:
+def _worker_main(job: SweepJob, conn, snapshot_dir: Optional[Path] = None) -> None:
     """Process-executor worker: run one cell, report over the pipe."""
     try:
-        result = _run_job(job)
+        result = _run_job(job, snapshot_dir=snapshot_dir)
         conn.send(("ok", result))
     except BaseException as exc:  # report everything, even SystemExit
         conn.send(("error", _error_info(exc)))
@@ -237,6 +250,7 @@ def _failure_from_info(job: SweepJob, info: dict, attempts: int) -> FailedResult
         partial_stats=(
             stats_from_dict(info["stats"]) if info.get("stats") else None
         ),
+        snapshot_path=info.get("snapshot_path"),
     )
 
 
@@ -258,6 +272,12 @@ def _result_record(job: SweepJob, result: CellResult) -> dict:
             stats=stats_to_dict(result.stats),
             mode_fractions=result.mode_fractions,
             mode_switches=result.mode_switches,
+            # Provenance: `seed` above is what the job *requested*;
+            # `effective_seed` is what the generator actually used.
+            effective_seed=result.seed,
+            config_hash=result.config_hash,
+            version=result.version,
+            commit_digest=result.commit_digest,
         )
     else:
         base.update(
@@ -272,6 +292,7 @@ def _result_record(job: SweepJob, result: CellResult) -> dict:
                 if result.partial_stats is not None
                 else None
             ),
+            snapshot_path=result.snapshot_path,
         )
     return base
 
@@ -286,6 +307,10 @@ def _result_from_record(record: dict) -> CellResult:
             stats=stats_from_dict(record["stats"]),
             mode_fractions=record.get("mode_fractions") or {},
             mode_switches=record.get("mode_switches", 0),
+            seed=record.get("effective_seed"),
+            config_hash=record.get("config_hash", ""),
+            version=record.get("version", ""),
+            commit_digest=record.get("commit_digest", ""),
         )
     return FailedResult(
         workload=record["workload"],
@@ -299,6 +324,7 @@ def _result_from_record(record: dict) -> CellResult:
         partial_stats=(
             stats_from_dict(record["stats"]) if record.get("stats") else None
         ),
+        snapshot_path=record.get("snapshot_path"),
     )
 
 
@@ -429,6 +455,7 @@ def run_sweep(
     resume: bool = False,
     executor: str = "process",
     fail_fast: bool = False,
+    snapshot_failures: Optional[Union[str, Path]] = None,
     on_result: Optional[Callable[[SweepJob, CellResult], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
     _job_runner: Callable[..., SimResult] = _run_job,
@@ -449,6 +476,12 @@ def run_sweep(
 
     ``checkpoint``/``resume`` give crash-durable sweeps; see the module
     docstring for the file format and semantics.
+
+    ``snapshot_failures=<dir>`` arms pre-crash state capture: a cell
+    whose run dies leaves a checksummed snapshot of the simulator state
+    shortly before the failure in that directory, its path recorded on
+    the :class:`~repro.sim.results.FailedResult` — replay it with
+    ``python -m repro replay <path>``.
     """
     jobs = list(jobs)
     _validate_jobs(jobs)
@@ -471,6 +504,11 @@ def run_sweep(
 
     report = SweepReport()
     done: Dict[str, CellResult] = {}
+    snapshot_dir = Path(snapshot_failures) if snapshot_failures is not None else None
+    if snapshot_dir is not None and _job_runner is _run_job:
+
+        def _job_runner(job, _trace_cache=None, _dir=snapshot_dir):
+            return _run_job(job, _trace_cache=_trace_cache, snapshot_dir=_dir)
 
     # Restore finished cells before launching anything.
     checkpoint_handle = None
@@ -483,6 +521,25 @@ def run_sweep(
                 if key in wanted:
                     done[key] = _result_from_record(record)
             report.restored = len(done)
+            # Compact-rewrite before appending: drops corrupt lines (a
+            # torn final line — even newline-less — would otherwise get
+            # new records concatenated onto it) and squashes superseded
+            # duplicates.  Records for cells outside this sweep are kept;
+            # the rewrite is atomic, so a crash here loses nothing.
+            compacted = b"".join(
+                (json.dumps(record) + "\n").encode("utf-8")
+                for record in records.values()
+            )
+            write_bytes_atomic(compacted, path)
+            if report.corrupt_checkpoint_lines:
+                warnings.warn(
+                    f"checkpoint {path} had "
+                    f"{report.corrupt_checkpoint_lines} corrupt line(s) "
+                    f"(torn write from an interrupted sweep?); they were "
+                    f"skipped and dropped on compaction",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         path.parent.mkdir(parents=True, exist_ok=True)
         checkpoint_handle = open(path, "a" if resume else "w")
 
@@ -512,6 +569,7 @@ def run_sweep(
                 retries=retries,
                 backoff=backoff,
                 transient=transient,
+                snapshot_dir=snapshot_dir,
             )
     finally:
         if checkpoint_handle is not None:
@@ -565,6 +623,7 @@ def _run_processes(
     retries: int,
     backoff: float,
     transient: Sequence[str],
+    snapshot_dir: Optional[Path] = None,
 ) -> None:
     if max_workers is None:
         max_workers = max(1, (os.cpu_count() or 2) - 1)
@@ -609,7 +668,9 @@ def _run_processes(
                 pending.popleft()
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
-                    target=_worker_main, args=(job, child_conn), daemon=True
+                    target=_worker_main,
+                    args=(job, child_conn, snapshot_dir),
+                    daemon=True,
                 )
                 proc.start()
                 child_conn.close()

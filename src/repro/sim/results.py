@@ -43,6 +43,17 @@ class SimResult:
     #: SWQUE only: fraction of cycles in each mode (Figure 10).
     mode_fractions: Dict[str, float] = field(default_factory=dict)
     mode_switches: int = 0
+    # -- provenance: everything needed to reproduce or distrust this
+    # number later.  ``seed`` is the effective workload-generator seed
+    # (recorded even when the caller passed none), ``config_hash`` the
+    # content digest of every processor parameter, ``version`` the
+    # package that ran it, and ``commit_digest`` the streaming
+    # fingerprint of the exact commit stream (two runs with equal
+    # digests retired identical instructions with identical timing).
+    seed: Optional[int] = None
+    config_hash: str = ""
+    version: str = ""
+    commit_digest: str = ""
 
     #: Sweep-harness cell status (see :class:`FailedResult`).
     ok = True
@@ -87,6 +98,10 @@ class FailedResult:
     attempts: int = 1
     cycles: int = 0
     partial_stats: Optional[PipelineStats] = None
+    #: Path of the pre-failure state snapshot, when the run was captured
+    #: (``snapshot_failures``/``failure_snapshot_dir``); replay it with
+    #: ``python -m repro replay <path>``.
+    snapshot_path: Optional[str] = None
 
     #: Sweep-harness cell status (mirrors :attr:`SimResult.ok`).
     ok = False
@@ -103,6 +118,8 @@ class FailedResult:
         )
         if self.cycles:
             line += f" at cycle {self.cycles}"
+        if self.snapshot_path:
+            line += f"  (replay: python -m repro replay {self.snapshot_path})"
         return line
 
 

@@ -1,0 +1,58 @@
+"""Verification subsystem: golden-model lockstep, snapshot/replay, watchdog.
+
+Three independent lines of defence against a *silently wrong* simulator
+(the occupancy invariants of :mod:`repro.core.base` only catch structural
+corruption; they cannot tell whether the timing model computed the right
+answer):
+
+* :mod:`repro.verify.oracle` -- a golden in-order reference model that
+  cross-checks every committed instruction against the trace's canonical
+  architectural semantics (commit order, dataflow legality, forwarding),
+  raising :class:`ArchitecturalMismatch` on divergence.
+* :mod:`repro.verify.snapshot` -- versioned, checksummed serialization of
+  the complete simulator state; ``restore -> continue`` is bit-identical
+  to an uninterrupted run (enforced by the streaming commit digest).
+* :mod:`repro.verify.replay` -- re-run a window around a recorded failure
+  from a snapshot with per-cycle event tracing (``python -m repro replay``).
+
+The forward-progress watchdog lives inside the pipeline itself
+(:class:`repro.cpu.pipeline.CommitStall`): the three parts together make
+any failure *detected*, *reproducible*, and *inspectable*.
+"""
+
+from repro.verify.oracle import (
+    ArchitecturalMismatch,
+    CommitDigest,
+    CommitRecord,
+    GoldenModel,
+)
+from repro.verify.replay import ReplayOutcome, replay
+from repro.verify.snapshot import (
+    SNAPSHOT_VERSION,
+    Snapshot,
+    SnapshotError,
+    SnapshotMeta,
+    SnapshotVersionError,
+    load_snapshot,
+    resume_to_result,
+    snapshot_bytes,
+    write_snapshot,
+)
+
+__all__ = [
+    "ArchitecturalMismatch",
+    "CommitDigest",
+    "CommitRecord",
+    "GoldenModel",
+    "ReplayOutcome",
+    "replay",
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotMeta",
+    "SnapshotVersionError",
+    "load_snapshot",
+    "resume_to_result",
+    "snapshot_bytes",
+    "write_snapshot",
+]

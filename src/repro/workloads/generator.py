@@ -371,4 +371,8 @@ def generate_trace(
         for _ in range(min(phase.instructions, remaining)):
             instructions.append(unroller.emit(len(instructions)))
         phase_index += 1
-    return Trace(instructions, name=profile.name)
+    return Trace(
+        instructions,
+        name=profile.name,
+        seed=profile.seed if seed is None else seed,
+    )

@@ -256,11 +256,61 @@ class TestCheckpointResume:
         run_sweep(jobs[:3], executor="inline", checkpoint=path)
         with open(path, "a") as handle:
             handle.write('{"key": "exchange2|age|medium|n=')  # torn write
-        report = run_sweep(jobs, executor="inline", checkpoint=path,
-                           resume=True)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            report = run_sweep(jobs, executor="inline", checkpoint=path,
+                               resume=True)
         assert report.corrupt_checkpoint_lines == 1
         assert report.restored == 3 and report.executed == 1
         assert report.all_ok
+
+    def test_torn_line_without_newline_cannot_corrupt_appends(self, tmp_path):
+        # The nastier torn write: the final line is cut mid-record with NO
+        # trailing newline.  A naive append would concatenate the next
+        # record onto it, corrupting BOTH.  Resume compacts the file
+        # first, so appended records always start on a fresh line.
+        path = tmp_path / "sweep.jsonl"
+        jobs = self.grid()
+        run_sweep(jobs, executor="inline", checkpoint=path)
+        lines = path.read_bytes().splitlines(True)
+        path.write_bytes(b"".join(lines[:-1]) + lines[-1][:37].rstrip(b"\n"))
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            report = run_sweep(jobs, executor="inline", checkpoint=path,
+                               resume=True)
+        assert report.corrupt_checkpoint_lines == 1
+        assert report.restored == 3 and report.executed == 1
+        # Every line of the compacted + appended file parses cleanly.
+        records, corrupt = load_checkpoint(path)
+        assert corrupt == 0
+        assert set(records) == {job.key for job in jobs}
+
+    def test_resume_compaction_keeps_records_outside_the_sweep(self, tmp_path):
+        # Records for cells not in the current sweep (e.g. a larger
+        # earlier grid) must survive compaction.
+        path = tmp_path / "sweep.jsonl"
+        jobs = self.grid()
+        run_sweep(jobs, executor="inline", checkpoint=path)
+        run_sweep(jobs[:1], executor="inline", checkpoint=path, resume=True)
+        records, corrupt = load_checkpoint(path)
+        assert corrupt == 0
+        assert set(records) == {job.key for job in jobs}
+
+    def test_checkpoint_records_carry_provenance(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        jobs = self.grid()[:1]
+        first = run_sweep(jobs, executor="inline", checkpoint=path)
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["effective_seed"] is not None
+        assert len(record["config_hash"]) == 16
+        assert record["version"]
+        assert len(record["commit_digest"]) == 32
+        second = run_sweep(jobs, executor="inline", checkpoint=path,
+                           resume=True)
+        restored = second.cells[jobs[0].key]
+        original = first.cells[jobs[0].key]
+        assert restored.seed == original.seed
+        assert restored.config_hash == original.config_hash
+        assert restored.version == original.version
+        assert restored.commit_digest == original.commit_digest
 
     def test_failed_cells_checkpoint_and_restore(self, tmp_path):
         path = tmp_path / "sweep.jsonl"
@@ -289,6 +339,18 @@ class TestCheckpointResume:
         with pytest.raises(ValueError, match="named workloads"):
             run_sweep([SweepJob(trace, "age", MEDIUM, N)],
                       checkpoint=tmp_path / "sweep.jsonl")
+
+    def test_failed_cell_snapshot_path_round_trips(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        snaps = tmp_path / "snaps"
+        run_sweep([diverging_job()], executor="inline", retries=0,
+                  checkpoint=path, snapshot_failures=snaps)
+        report = run_sweep([diverging_job()], executor="inline", retries=0,
+                           checkpoint=path, resume=True,
+                           snapshot_failures=snaps)
+        failure = report.cells[diverging_job().key]
+        assert failure.snapshot_path and failure.snapshot_path.endswith(".snap")
+        assert "replay" in failure.summary()
 
     def test_stats_serialization_round_trip(self):
         result = simulate("exchange2", "swque", num_instructions=N)
@@ -336,6 +398,17 @@ class TestProcessExecutor:
         assert failure.partial_stats.cycles >= 300
         records, _ = load_checkpoint(path)
         assert records[diverging_job().key]["status"] == "failed"
+
+    def test_failure_snapshot_crosses_the_process_boundary(self, tmp_path):
+        from repro.verify.replay import replay
+
+        snaps = tmp_path / "snaps"
+        report = run_sweep([diverging_job()], executor="process", retries=0,
+                           snapshot_failures=snaps)
+        failure = report.failures[0]
+        assert failure.snapshot_path is not None
+        outcome = replay(failure.snapshot_path, cycles=10, trace=False)
+        assert outcome.cycles_run == 10  # the artifact restores and steps
 
 
 class TestRunnersOnTheHarness:

@@ -1,0 +1,215 @@
+"""Tests for the golden reference model, stealth faults, and the watchdog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._version import __version__
+from repro.core.factory import IQ_POLICIES
+from repro.cpu.pipeline import CommitStall, SimulationDiverged
+from repro.sim.faults import FaultSpec
+from repro.sim.simulator import simulate
+from repro.verify import ArchitecturalMismatch, GoldenModel
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec2017 import get_profile
+
+N = 3000  # instruction budget: seconds-scale cells
+STEALTH_N = 5000  # stealth faults need a deeper in-flight window
+
+
+class TestGoldenModelLockstep:
+    """Every policy must survive lockstep validation on a clean run."""
+
+    @pytest.mark.parametrize("policy", IQ_POLICIES)
+    def test_clean_run_passes_the_oracle(self, policy):
+        result = simulate("exchange2", policy, num_instructions=N, verify=True)
+        assert result.ok
+        assert result.stats.committed > 0
+
+    def test_fp_profile_passes_the_oracle(self):
+        # nab is an FP/memory profile: exercises the FP rename pool and
+        # forwarding paths the INT profile barely touches.
+        result = simulate("nab", "swque", num_instructions=N, verify=True)
+        assert result.ok
+
+    def test_commit_shortfall_is_a_mismatch(self):
+        trace = generate_trace(get_profile("exchange2"), 100)
+        oracle = GoldenModel(trace)
+        with pytest.raises(ArchitecturalMismatch, match="commit-shortfall"):
+            oracle.check_final(0)
+
+    def test_oracle_tracks_commit_progress(self):
+        trace = generate_trace(get_profile("exchange2"), 100)
+        oracle = GoldenModel(trace)
+        assert oracle.committed == 0
+        assert not oracle.done
+
+
+class TestStealthFaults:
+    """Self-consistent corruption: guards stay silent, the oracle does not."""
+
+    CORRUPT_READY = dict(kind="corrupt-ready", at_cycle=1000, stealth=True)
+    READD_ISSUED = dict(kind="readd-issued", at_cycle=1000, stealth=True)
+
+    def test_stealth_corrupt_ready_evades_every_guard(self):
+        # Without the oracle the run completes *clean* — the whole point:
+        # occupancy invariants cannot see an architecturally early issue.
+        result = simulate(
+            "exchange2", "age", num_instructions=STEALTH_N,
+            faults=FaultSpec(**self.CORRUPT_READY),
+        )
+        assert result.ok
+
+    def test_stealth_corrupt_ready_is_caught_by_the_oracle(self):
+        with pytest.raises(ArchitecturalMismatch) as excinfo:
+            simulate(
+                "exchange2", "age", num_instructions=STEALTH_N, verify=True,
+                faults=FaultSpec(**self.CORRUPT_READY),
+            )
+        exc = excinfo.value
+        assert exc.check == "dataflow-order"
+        assert exc.cycle > 0
+        assert exc.recent  # the last-commits window rode along
+        assert exc.recent_summary()
+        assert exc.partial_stats is not None
+
+    def test_stealth_corrupt_ready_caught_under_swque_too(self):
+        with pytest.raises(ArchitecturalMismatch) as excinfo:
+            simulate(
+                "exchange2", "swque", num_instructions=STEALTH_N, verify=True,
+                faults=FaultSpec(**self.CORRUPT_READY),
+            )
+        assert excinfo.value.check == "dataflow-order"
+
+    def test_stealth_readd_issued_evades_every_guard(self):
+        result = simulate(
+            "mcf", "age", num_instructions=STEALTH_N,
+            faults=FaultSpec(**self.READD_ISSUED),
+        )
+        assert result.ok
+
+    def test_stealth_readd_issued_is_caught_by_the_oracle(self):
+        with pytest.raises(ArchitecturalMismatch) as excinfo:
+            simulate(
+                "mcf", "age", num_instructions=STEALTH_N, verify=True,
+                faults=FaultSpec(**self.READD_ISSUED),
+            )
+        assert excinfo.value.check == "dataflow-order"
+
+    def test_stealth_only_applies_to_ready_set_faults(self):
+        with pytest.raises(ValueError, match="stealth"):
+            FaultSpec(kind="crash", stealth=True)
+        with pytest.raises(ValueError, match="stealth"):
+            FaultSpec(kind="drop-wakeup", stealth=True)
+
+    def test_loud_variants_still_trip_the_guards(self):
+        # The non-stealth forms must keep exercising the structural guards.
+        from repro.core.base import InvariantViolation
+
+        with pytest.raises(InvariantViolation, match="issue-unready"):
+            simulate("exchange2", "age", num_instructions=N,
+                     faults=FaultSpec(kind="corrupt-ready", at_cycle=500))
+
+
+class TestWatchdog:
+    """Commit-stall detection with actionable per-stage diagnostics."""
+
+    def test_drop_wakeup_trips_the_watchdog(self):
+        with pytest.raises(CommitStall) as excinfo:
+            simulate(
+                "exchange2", "age", num_instructions=N,
+                faults=FaultSpec(kind="drop-wakeup", at_cycle=0, count=10**9),
+                watchdog_interval=2000,
+            )
+        exc = excinfo.value
+        assert isinstance(exc, SimulationDiverged)  # existing callers keep working
+        assert exc.stall_cycles >= 2000
+        assert exc.partial_stats is not None
+        # The diagnostic must name the per-stage state and the oldest entry.
+        for key in ("rob", "iq", "iq_ready", "iq_mode", "lsq",
+                    "inflight_completions", "last_commit_cycle"):
+            assert key in exc.diagnostics
+        # A dropped broadcast leaves the head "ready" (pending count hit
+        # zero) but absent from the ready set — exactly what it says.
+        assert "NOT in the ready set" in exc.oldest
+        assert str(exc.oldest) in str(exc)
+
+    def test_watchdog_names_the_iq_mode_under_swque(self):
+        with pytest.raises(CommitStall) as excinfo:
+            simulate(
+                "exchange2", "swque", num_instructions=N,
+                faults=FaultSpec(kind="drop-wakeup", at_cycle=0, count=10**9),
+                watchdog_interval=2000,
+            )
+        assert excinfo.value.diagnostics["iq_mode"] in ("age", "circ-pc")
+
+    def test_watchdog_can_be_disabled(self):
+        # With the watchdog off the same hang surfaces as the coarse
+        # divergence timeout instead — later, and without diagnostics.
+        with pytest.raises(SimulationDiverged) as excinfo:
+            simulate(
+                "exchange2", "age", num_instructions=N,
+                faults=FaultSpec(kind="drop-wakeup", at_cycle=0, count=10**9),
+                watchdog_interval=None, max_cycles=4000,
+            )
+        assert not isinstance(excinfo.value, CommitStall)
+
+    def test_watchdog_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="watchdog_interval"):
+            simulate("exchange2", "age", num_instructions=N,
+                     watchdog_interval=0)
+
+    def test_healthy_runs_never_trip_the_default_horizon(self):
+        result = simulate("mcf", "swque", num_instructions=N)
+        assert result.ok  # memory-bound stalls stay under 20k cycles
+
+
+class TestProvenance:
+    """Every result carries enough to regenerate and fingerprint the run."""
+
+    def test_result_records_effective_default_seed(self):
+        result = simulate("exchange2", "age", num_instructions=N)
+        assert result.seed == get_profile("exchange2").seed
+
+    def test_result_records_explicit_seed(self):
+        result = simulate("exchange2", "age", num_instructions=N, seed=7)
+        assert result.seed == 7
+
+    def test_prebuilt_trace_carries_its_generator_seed(self):
+        trace = generate_trace(get_profile("exchange2"), N, seed=11)
+        result = simulate(trace, "age")
+        assert result.seed == 11
+
+    def test_hand_built_trace_has_no_seed(self):
+        from repro.cpu.trace import Trace
+
+        generated = generate_trace(get_profile("exchange2"), N)
+        bare = Trace(list(generated), name="hand-built")
+        result = simulate(bare, "age")
+        assert result.seed is None
+
+    def test_config_hash_version_and_digest_populated(self):
+        result = simulate("exchange2", "age", num_instructions=N)
+        assert len(result.config_hash) == 16
+        int(result.config_hash, 16)  # hex
+        assert result.version == __version__
+        assert len(result.commit_digest) == 32
+        int(result.commit_digest, 16)
+
+    def test_commit_digest_is_deterministic(self):
+        a = simulate("exchange2", "swque", num_instructions=N)
+        b = simulate("exchange2", "swque", num_instructions=N)
+        assert a.commit_digest == b.commit_digest
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_commit_digest_separates_different_runs(self):
+        a = simulate("exchange2", "swque", num_instructions=N)
+        b = simulate("exchange2", "swque", num_instructions=N, seed=99)
+        c = simulate("exchange2", "age", num_instructions=N)
+        assert len({a.commit_digest, b.commit_digest, c.commit_digest}) == 3
+
+    def test_config_hash_separates_configs(self):
+        from repro.config import LARGE, MEDIUM, config_digest
+
+        assert config_digest(MEDIUM) != config_digest(LARGE)
+        assert config_digest(MEDIUM) == config_digest(MEDIUM)
