@@ -22,6 +22,7 @@ import pathlib
 
 from repro.config import MEDIUM
 from repro.sim.harness import make_grid, run_sweep
+from repro.telemetry import TELEMETRY_SCHEMA_VERSION
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -31,14 +32,26 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_INSTRUCTIONS = 60_000
 
 
-def record(name: str, payload) -> None:
-    """Persist a regenerated figure/table for inspection."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def record(name: str, payload) -> pathlib.Path:
+    """Persist a regenerated figure/table for inspection.
+
+    The file wraps the payload in a small envelope (benchmark name plus
+    the telemetry/artifact schema version) so results from different
+    checkouts can be told apart; nothing in the repo parses these files,
+    they exist for humans and notebooks.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
+    document = {
+        "name": name,
+        "telemetry_schema_version": TELEMETRY_SCHEMA_VERSION,
+        "payload": payload,
+    }
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, default=str)
+        json.dump(document, handle, indent=2, default=str)
     print(f"\n=== {name} ===")
     print(json.dumps(payload, indent=2, default=str))
+    return path
 
 
 def run_once(benchmark, func):

@@ -1,0 +1,105 @@
+"""Simulator-throughput benchmark: cycles/sec of the Python model itself.
+
+Unlike the figure benchmarks (which regenerate *paper* numbers), this one
+measures the *simulator*: simulated cycles per wall-clock second with
+telemetry off, the same with telemetry on (so the subsystem's overhead is
+a recorded number, not a claim), and sampled per-stage wall-time shares.
+The result is written to ``BENCH_swque.json`` at the repo root — the
+committed copy is the performance baseline future hot-path changes are
+judged against.
+
+Environment knobs (both default off):
+
+``BENCH_SMOKE=1``
+    Short run (8k instructions, one repeat) for CI smoke jobs.
+``BENCH_CHECK_BASELINE=1``
+    Fail if the freshly measured telemetry-off rate regressed more than
+    30% below the previously committed ``BENCH_swque.json``.  Only
+    meaningful on hardware comparable to the baseline's recorder, which
+    is why it is opt-in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from bench_util import record
+from repro.telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    bench_payload,
+    measure_throughput,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_swque.json"
+
+#: Fractional cycles/sec loss vs the committed baseline that fails the
+#: gated check (0.30 = fail when more than 30% slower).
+REGRESSION_TOLERANCE = 0.30
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+CHECK_BASELINE = os.environ.get("BENCH_CHECK_BASELINE") == "1"
+
+
+def _load_committed_baseline() -> dict:
+    """The previously recorded document, read BEFORE it is overwritten."""
+    if not BENCH_PATH.exists():
+        return {}
+    try:
+        return json.loads(BENCH_PATH.read_text())
+    except (json.JSONDecodeError, OSError):
+        return {}  # a torn or hand-edited file is not a benchmark failure
+
+
+def test_throughput():
+    num_instructions = 8_000 if SMOKE else 30_000
+    repeats = 1 if SMOKE else 3
+    committed = _load_committed_baseline()
+
+    # The headline baseline runs unperturbed — no telemetry, no stage
+    # profiler; the per-stage shares come from a separate profiled run.
+    baseline = measure_throughput(
+        "exchange2",
+        "swque",
+        num_instructions=num_instructions,
+        repeats=repeats,
+    )
+    with_telemetry = measure_throughput(
+        "exchange2",
+        "swque",
+        num_instructions=num_instructions,
+        repeats=repeats,
+        telemetry=Telemetry(TelemetryConfig(interval=2_000)),
+    )
+    staged = measure_throughput(
+        "exchange2",
+        "swque",
+        num_instructions=num_instructions,
+        repeats=1,
+        profile_stages=True,
+    )
+
+    payload = bench_payload(
+        baseline, with_telemetry, smoke=SMOKE, stage_shares=staged.stage_shares
+    )
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record("throughput", payload)
+
+    assert baseline.cycles_per_sec > 0
+    assert with_telemetry.cycles_per_sec > 0
+    # The identical trace must retire the identical cycle count whether
+    # or not anyone is watching (telemetry must not perturb timing).
+    assert with_telemetry.cycles == baseline.cycles
+    assert staged.cycles == baseline.cycles
+    assert abs(sum(staged.stage_shares.values()) - 1.0) < 1e-6
+
+    if CHECK_BASELINE and committed.get("cycles_per_sec"):
+        floor = (1.0 - REGRESSION_TOLERANCE) * committed["cycles_per_sec"]
+        assert baseline.cycles_per_sec >= floor, (
+            f"simulator throughput regressed: {baseline.cycles_per_sec:.0f} "
+            f"cycles/sec vs committed baseline "
+            f"{committed['cycles_per_sec']:.0f} (floor {floor:.0f})"
+        )

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Capture SWQUE's mode switching as a telemetry timeline + Chrome trace.
+
+Where ``mode_switching_trace.py`` monkey-patches the interval evaluator
+to *print* decisions live, this example uses the supported path: run the
+same phased workload with :mod:`repro.telemetry` attached, then export
+the interval time series, the structured event log, and a Chrome
+``trace_event`` JSON you can drop into https://ui.perfetto.dev — the
+mode timeline renders as spans, MPKI/FLPI/occupancy as counter tracks,
+and each switch decision as a flagged instant carrying the metrics that
+triggered it.
+
+    python examples/trace_mode_switches.py [instructions] [out_dir]
+"""
+
+import sys
+
+from repro.sim import simulate
+from repro.telemetry import TelemetryConfig, export_run
+from repro.telemetry.events import EV_MODE_SWITCH, EV_MODE_SWITCH_DECIDED
+from repro.workloads.profile import PhaseSpec, WorkloadProfile
+
+KB, MB = 1024, 1024 * 1024
+
+PRIORITY_PHASE = PhaseSpec(
+    instructions=30_000,
+    parallel_chains=8, critical_chains=3, chain_break_interval=5,
+    critical_load_fraction=0.6, load_fraction=0.08, store_fraction=0.05,
+    branch_fraction=0.10, random_branch_fraction=0.14, branch_flip_rate=0.05,
+    branch_slice_depth=5, memory_pattern="stream", footprint_bytes=16 * KB,
+)
+
+MEMORY_PHASE = PhaseSpec(
+    instructions=30_000,
+    parallel_chains=12, critical_chains=1, chain_break_interval=8,
+    load_fraction=0.26, store_fraction=0.05, branch_fraction=0.06,
+    random_branch_fraction=0.05, branch_slice_depth=2,
+    memory_pattern="sparse", sparse_load_fraction=0.20, footprint_bytes=4 * MB,
+)
+
+PHASED = WorkloadProfile(
+    name="phased-demo", suite="int",
+    phases=(PRIORITY_PHASE, MEMORY_PHASE),
+    description="alternating priority-sensitive and memory-bound phases",
+)
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "telemetry"
+
+    result = simulate(
+        PHASED, "swque",
+        num_instructions=instructions,
+        telemetry=TelemetryConfig(interval=2_000),
+    )
+    tel = result.telemetry
+
+    print(result.summary())
+    print(tel.summary())
+
+    print(f"\n{'cycle':>10} {'mode':<8} {'MPKI':>7} {'FLPI':>7} {'IPC':>6} "
+          f"{'occ':>5}")
+    for sample in tel.samples:
+        print(f"{sample.cycle_end:>10,} {sample.mode or '-':<8} "
+              f"{sample.mpki:>7.2f} {sample.flpi:>7.3f} {sample.ipc:>6.3f} "
+          f"{sample.mean_iq_occupancy:>5.1f}")
+
+    decisions = tel.events_named(EV_MODE_SWITCH_DECIDED)
+    switches = tel.events_named(EV_MODE_SWITCH)
+    print(f"\nswitch decisions: {len(decisions)}, flushes taken: {len(switches)}")
+    for event in switches:
+        args = event.args
+        print(f"  cycle {event.cycle:>10,}: {args['from_mode']} -> "
+              f"{args['to_mode']}")
+
+    paths = export_run(tel, out_dir, "trace_mode_switches",
+                       meta={"workload": PHASED.name, "policy": "swque"})
+    print("\nartifacts:")
+    for kind, path in paths.items():
+        print(f"  {kind:<9} {path}")
+    print("open the .trace.json in https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,9 @@ Public surface:
 * :mod:`repro.sim.experiments` -- one function per paper figure and table.
 * :mod:`repro.verify` -- golden-model lockstep validation, checksummed
   state snapshots with bit-identical resume, and failure replay.
+* :mod:`repro.telemetry` -- interval time series, structured event
+  tracing with Chrome/Perfetto export, and simulator-throughput
+  profiling.
 """
 
 from repro._version import __version__
@@ -26,6 +29,7 @@ from repro.config import LARGE, MEDIUM, ProcessorConfig, SwqueParams
 from repro.sim.results import FailedResult, SimResult, geomean, speedup
 from repro.sim.simulator import simulate
 from repro.sim.harness import SweepJob, SweepReport, make_grid, run_sweep
+from repro.telemetry import Telemetry, TelemetryConfig, export_run
 from repro.verify import (
     ArchitecturalMismatch,
     GoldenModel,
@@ -50,6 +54,9 @@ __all__ = [
     "SimResult",
     "SweepJob",
     "SweepReport",
+    "Telemetry",
+    "TelemetryConfig",
+    "export_run",
     "geomean",
     "speedup",
     "simulate",

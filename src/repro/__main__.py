@@ -6,6 +6,7 @@ Examples::
     python -m repro run exchange2 swque --verify        # golden-model lockstep
     python -m repro compare exchange2 --policies shift age swque
     python -m repro experiment fig8 --instructions 40000
+    python -m repro trace --workload int --policy swque --out-dir telemetry/
     python -m repro sweep --policies age swque --timeout 600 --retries 2 \\
         --checkpoint sweep.jsonl --resume --snapshot-failures snaps/
     python -m repro replay snaps/mcf-swque-medium-c12000-failed.snap
@@ -43,6 +44,11 @@ _EXPERIMENTS = {
 #: Experiments that take no instruction budget (pure circuit models).
 _ANALYTIC = {"fig13", "tab5", "sec47"}
 
+#: ``trace --workload`` suite shortcuts: a representative MLP-class
+#: profile from each suite, chosen because its phase behaviour actually
+#: exercises SWQUE mode switching (the thing worth tracing).
+_SUITE_SHORTCUTS = {"int": "xz", "fp": "fotonik3d"}
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -70,6 +76,31 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--instructions", type=int, default=60_000)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one cell with telemetry and export the interval "
+             "timeline, event log, and a Chrome/Perfetto trace",
+    )
+    trace.add_argument("--workload", default="int",
+                       choices=sorted(SPEC2017_PROFILES) + sorted(_SUITE_SHORTCUTS),
+                       help="profile name, or a suite shortcut "
+                            "(int/fp -> a representative mode-switching "
+                            "profile)")
+    trace.add_argument("--policy", default="swque", choices=IQ_POLICIES)
+    trace.add_argument("--instructions", type=int, default=60_000)
+    trace.add_argument("--interval", type=int, default=2_000,
+                       help="telemetry sampling interval in cycles "
+                            "(default 2000; the simulate() default is "
+                            "10000)")
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--warmup", type=int, default=None, metavar="N",
+                       help="warmup instructions (default: a quarter of "
+                            "the trace); 0 samples the cold machine too")
+    trace.add_argument("--large", action="store_true")
+    trace.add_argument("--out-dir", default="telemetry", metavar="DIR",
+                       help="directory for the exported artifacts "
+                            "(default: ./telemetry)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -107,6 +138,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write a pre-crash simulator snapshot for every "
                             "failed cell into DIR (replay with "
                             "'python -m repro replay')")
+    sweep.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                       help="run every cell with interval telemetry and "
+                            "export per-cell timeline/events/Chrome-trace "
+                            "artifacts into DIR")
 
     replay = sub.add_parser(
         "replay",
@@ -119,6 +154,13 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--no-trace", action="store_true",
                         help="suppress the per-cycle trace, print only the "
                              "outcome")
+    replay.add_argument("--export-trace", default=None, metavar="DIR",
+                        help="export the replay window's telemetry "
+                             "(timeline/events JSONL + Chrome trace) into DIR")
+    replay.add_argument("--telemetry-interval", type=int, default=None,
+                        metavar="CYCLES",
+                        help="replay telemetry sampling interval "
+                             "(default 500: full-resolution for short windows)")
 
     sub.add_parser("list", help="list workloads and policies")
     return parser
@@ -145,8 +187,55 @@ def main(argv=None) -> int:
                   f"{result.stats.committed} commits "
                   f"(digest {result.commit_digest})")
         return 0
+    if args.command == "trace":
+        from repro.telemetry import (
+            EV_MODE_SWITCH,
+            TelemetryConfig,
+            export_run,
+        )
+
+        workload = _SUITE_SHORTCUTS.get(args.workload, args.workload)
+        config = LARGE if args.large else MEDIUM
+        result = simulate(
+            workload,
+            args.policy,
+            config=config,
+            num_instructions=args.instructions,
+            seed=args.seed,
+            warmup_instructions=args.warmup,
+            telemetry=TelemetryConfig(interval=args.interval),
+        )
+        tel = result.telemetry
+        print(result.summary())
+        print(tel.summary())
+        switches = tel.events_named(EV_MODE_SWITCH)
+        if switches:
+            print(f"mode switches ({len(switches)}):")
+            for event in switches:
+                print(f"  cycle {event.cycle:>8}: "
+                      f"{event.args['from_mode']} -> {event.args['to_mode']}")
+        paths = export_run(
+            tel,
+            args.out_dir,
+            f"{workload}-{args.policy}-{config.name}",
+            meta={
+                "workload": workload,
+                "policy": args.policy,
+                "config": config.name,
+                "num_instructions": args.instructions,
+                "seed": result.seed,
+                "config_hash": result.config_hash,
+                "commit_digest": result.commit_digest,
+            },
+        )
+        for kind, path in paths.items():
+            print(f"  {kind:>8}: {path}")
+        return 0
     if args.command == "replay":
-        from repro.verify.replay import replay as run_replay
+        from repro.verify.replay import (
+            DEFAULT_REPLAY_TELEMETRY_INTERVAL,
+            replay as run_replay,
+        )
         from repro.verify.snapshot import SnapshotError, load_snapshot
 
         try:
@@ -157,9 +246,38 @@ def main(argv=None) -> int:
         if args.no_trace:  # replay() prints the header itself when tracing
             print(snapshot.meta.summary())
         outcome = run_replay(
-            snapshot, cycles=args.cycles, trace=not args.no_trace
+            snapshot,
+            cycles=args.cycles,
+            trace=not args.no_trace,
+            telemetry_interval=(
+                args.telemetry_interval
+                if args.telemetry_interval is not None
+                else DEFAULT_REPLAY_TELEMETRY_INTERVAL
+            ),
         )
         print(outcome.summary())
+        if args.export_trace and outcome.telemetry is not None:
+            from pathlib import Path
+
+            from repro.telemetry import export_run
+
+            stem = Path(args.snapshot).name
+            if stem.endswith(".snap"):
+                stem = stem[: -len(".snap")]
+            paths = export_run(
+                outcome.telemetry,
+                args.export_trace,
+                f"{stem}-replay",
+                meta={
+                    "snapshot": str(args.snapshot),
+                    "workload": snapshot.meta.workload,
+                    "policy": snapshot.meta.policy,
+                    "config": snapshot.meta.config,
+                    "status": outcome.status,
+                },
+            )
+            for kind, path in paths.items():
+                print(f"  {kind:>8}: {path}")
         return 0 if outcome.ok else 1
     if args.command == "compare":
         config = LARGE if args.large else MEDIUM
@@ -183,6 +301,40 @@ def main(argv=None) -> int:
             seed=args.seed,
             max_cycles=args.max_cycles,
         )
+        from repro.telemetry.profile import RateMeter
+
+        total = len(jobs)
+        progress = {"done": 0, "failed": 0, "retried": 0}
+        meter = RateMeter()
+
+        def on_result(job, result):
+            progress["done"] += 1
+            if not result.ok:
+                progress["failed"] += 1
+            stats = result.stats if result.ok else result.partial_stats
+            if stats is not None:
+                meter.add(stats.cycles, stats.committed)
+            print(
+                f"[{progress['done']}/{total}] {result.summary()}",
+                flush=True,
+            )
+            print(
+                f"  progress: {progress['done']}/{total} done, "
+                f"{progress['failed']} failed, "
+                f"{progress['retried']} retried, {meter.format_rate()}",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        def on_retry(job, next_attempt, error_type):
+            progress["retried"] += 1
+            print(
+                f"  retry: {job.workload_name}/{job.policy} "
+                f"[{error_type}] -> attempt {next_attempt}",
+                file=sys.stderr,
+                flush=True,
+            )
+
         report = run_sweep(
             jobs,
             executor="inline" if args.jobs == 0 else "process",
@@ -193,7 +345,9 @@ def main(argv=None) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             snapshot_failures=args.snapshot_failures,
-            on_result=lambda job, result: print(result.summary(), flush=True),
+            telemetry_dir=args.telemetry_dir,
+            on_result=on_result,
+            on_retry=on_retry,
         )
         print()
         print(report.summary())

@@ -210,6 +210,20 @@ class IssueQueue(ABC):
     #: behalf of the queue (SWQUE mode switches).
     flush_penalty = 0
 
+    #: Telemetry sink (:class:`repro.telemetry.Telemetry`), set by
+    #: ``Telemetry.attach``; queues emit discrete events through it.
+    #: ``None`` (the default) means every probe site short-circuits.
+    telemetry = None
+
+    def telemetry_probe(self) -> dict:
+        """Organization-specific state published per telemetry interval.
+
+        Overridden by queues with interesting internal state (SWQUE mode
+        and instability counter, CIRC-PC wrap-around status).  Called at
+        interval boundaries only, never per cycle.
+        """
+        return {}
+
     @property
     def wants_flush(self) -> bool:
         """True when the queue asks the pipeline for a flush (mode switch)."""

@@ -128,3 +128,18 @@ class CircPCQueue(CircularQueue):
     def flush(self) -> None:
         self._pending_rv = []
         super().flush()
+
+    # -- introspection ---------------------------------------------------------------
+
+    def telemetry_probe(self) -> dict:
+        """Wrap-around state for the interval sampler.
+
+        ``wrapped``/``pending_rv`` are what occupancy means cannot show:
+        whether the queue currently spans the physical boundary (and RV
+        grants are eating the extra issue cycle) at each interval edge.
+        """
+        return {
+            "wrapped": bool(self.spans_wraparound),
+            "pending_rv": len(self._pending_rv),
+            "holes": self.holes,
+        }

@@ -31,6 +31,7 @@ from repro.core.base import InvariantViolation, IssueQueue
 from repro.core.circ_pc import CircPCQueue
 from repro.cpu.dyninst import DynInst
 from repro.cpu.stats import PipelineStats
+from repro.telemetry.events import EV_MODE_SWITCH, EV_MODE_SWITCH_DECIDED
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cpu.fu import FunctionUnitPool
@@ -216,6 +217,23 @@ class SwitchingQueue(IssueQueue):
         if next_mode != self.mode:
             self._pending_switch = True
             self.mode_history.append((self.stats.committed, next_mode))
+            if self.telemetry is not None:
+                # The triggering metric values, as evaluated: the whole
+                # point of event tracing is seeing *why* a switch fired.
+                self.telemetry.event(
+                    EV_MODE_SWITCH_DECIDED,
+                    category="swque",
+                    from_mode=self.mode,
+                    to_mode=next_mode,
+                    mpki=mpki,
+                    flpi=flpi,
+                    mpki_threshold=self.params.mpki_threshold,
+                    flpi_threshold=self._flpi_threshold[self.mode],
+                    mpki_high=mpki_high,
+                    flpi_high=flpi_high,
+                    instability_counter=self.instability_counter,
+                    committed=self.stats.committed,
+                )
 
         # Start the next interval.
         self._interval_committed = 0
@@ -230,13 +248,34 @@ class SwitchingQueue(IssueQueue):
         self._age.flush()
         self.occupancy = 0
         if self._pending_switch:
+            previous = self.mode
             self.mode = MODE_AGE if self.mode == MODE_CIRC_PC else MODE_CIRC_PC
             self._active = self._age if self.mode == MODE_AGE else self._circ_pc
             self._active.reset_interval_counters()
             self._pending_switch = False
             self.stats.mode_switches += 1
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    EV_MODE_SWITCH,
+                    category="swque",
+                    from_mode=previous,
+                    to_mode=self.mode,
+                    total_switches=self.stats.mode_switches,
+                )
 
     # -- introspection -----------------------------------------------------------------
+
+    def telemetry_probe(self) -> dict:
+        """Controller state for the interval sampler, active queue included."""
+        probe = {
+            "mode": self.mode,
+            "instability_counter": self.instability_counter,
+            "age_flpi_threshold": self._flpi_threshold[MODE_AGE],
+            "pending_switch": self._pending_switch,
+            "interval_committed": self._interval_committed,
+        }
+        probe.update(self._active.telemetry_probe())
+        return probe
 
     @property
     def age_flpi_threshold(self) -> float:

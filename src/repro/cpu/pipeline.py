@@ -21,6 +21,7 @@ one-cycle minimum IQ residency of real wakeup-select loops.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.config import ProcessorConfig
@@ -36,10 +37,13 @@ from repro.cpu.rob import ReorderBuffer
 from repro.cpu.stats import PipelineStats
 from repro.cpu.trace import Trace
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.telemetry.events import EV_FAULT, EV_IQ_FLUSH, EV_NEAR_STALL
 from repro.verify.oracle import ArchitecturalMismatch, CommitDigest, GoldenModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.faults import FaultInjector
+    from repro.telemetry.probes import Telemetry
+    from repro.telemetry.profile import StageProfiler
 
 #: Forward-progress watchdog default: the longest commit-free stretch a
 #: healthy run can plausibly produce (deep dependent-miss chains stall for
@@ -139,6 +143,15 @@ class Pipeline:
         #: Forward-progress watchdog horizon in cycles (None disables).
         self.watchdog_interval = watchdog_interval
         self._last_commit_cycle = 0
+        #: Telemetry sink (:class:`repro.telemetry.Telemetry`); set by
+        #: ``Telemetry.attach``.  ``None`` keeps every probe site at one
+        #: attribute test per cycle.
+        self.telemetry: Optional["Telemetry"] = None
+        #: Host-side stage profiler (:mod:`repro.telemetry.profile`);
+        #: when set, one cycle in ``sample_every`` runs the timed path.
+        self.profiler: Optional["StageProfiler"] = None
+        # One near-stall event per commit-free episode (telemetry only).
+        self._near_stall_noted = False
         # Guard state: sequence number of the last committed instruction.
         self._last_commit_seq = -1
         #: Caller-attached run identity (workload/policy/seed), recorded in
@@ -161,9 +174,15 @@ class Pipeline:
         # The snapshot sink is typically a closure (not picklable) and a
         # restored run should not silently re-write snapshot files; both
         # it and the cadence are re-armed explicitly after a restore.
+        # The stage profiler measures *this host's* wall clock — its
+        # partial sums are meaningless in another process, so it is
+        # dropped too.  Telemetry, by contrast, is simulated-time data
+        # and travels with the snapshot: a resumed run keeps sampling on
+        # the same interval boundaries.
         state = self.__dict__.copy()
         state["snapshot_sink"] = None
         state["snapshot_interval"] = None
+        state["profiler"] = None
         return state
 
     # -- top level ----------------------------------------------------------------
@@ -223,6 +242,10 @@ class Pipeline:
                 if self._warm_pending and self.stats.committed >= self._warmup_target:
                     self.stats.reset()
                     self._warm_pending = False
+            if self.telemetry is not None:
+                # Flush the final partial interval (idempotent, so a
+                # finished-then-snapshotted run resumes harmlessly).
+                self.telemetry.finish(self.cycle)
             if self.oracle is not None:
                 self.oracle.check_final(self.stats.committed)
         except (InvariantViolation, ArchitecturalMismatch) as exc:
@@ -242,6 +265,32 @@ class Pipeline:
         cycle = self.cycle
         if self.faults is not None:
             self.faults.on_cycle(self, cycle)
+        profiler = self.profiler
+        if profiler is not None and cycle % profiler.sample_every == 0:
+            self._step_stages_timed(cycle, profiler)
+        else:
+            self._step_stages(cycle)
+        self.cycle += 1
+        self.stats.cycles += 1
+        # Telemetry samples the finished cycle BEFORE any snapshot is
+        # taken: the pickled sampler state must already account for this
+        # cycle, or a resumed run would drop exactly one occupancy
+        # sample and its time series would not be bit-identical.
+        if self.telemetry is not None:
+            self.telemetry.on_cycle(self.cycle, self.iq.occupancy)
+        if (
+            self.snapshot_sink is not None
+            and self.cycle >= self._next_snapshot_cycle
+        ):
+            self._next_snapshot_cycle = self.cycle + (self.snapshot_interval or 1)
+            self.snapshot_sink(self)
+
+    def _step_stages(self, cycle: int) -> None:
+        """The per-cycle stage sequence (the hot path).
+
+        Mirrored by :meth:`_step_stages_timed`; any stage added or
+        reordered here must change there identically.
+        """
         self.fu_pool.new_cycle(cycle)
         self._complete(cycle)
         self._commit(cycle)
@@ -251,14 +300,37 @@ class Pipeline:
         if self.iq.wants_flush:
             self._flush(self.iq.flush_penalty)
         self._check_invariants(cycle)
-        self.cycle += 1
-        self.stats.cycles += 1
-        if (
-            self.snapshot_sink is not None
-            and self.cycle >= self._next_snapshot_cycle
-        ):
-            self._next_snapshot_cycle = self.cycle + (self.snapshot_interval or 1)
-            self.snapshot_sink(self)
+
+    def _step_stages_timed(self, cycle: int, profiler: "StageProfiler") -> None:
+        """:meth:`_step_stages` with per-stage wall-clock attribution.
+
+        Runs for one sampled cycle out of every ``profiler.sample_every``,
+        so the six timer reads never sit on the hot path.
+        """
+        clock = time.perf_counter
+        self.fu_pool.new_cycle(cycle)
+        t0 = clock()
+        self._complete(cycle)
+        t1 = clock()
+        self._commit(cycle)
+        t2 = clock()
+        self._issue(cycle)
+        t3 = clock()
+        self._dispatch(cycle)
+        t4 = clock()
+        self.iq.tick(cycle)
+        if self.iq.wants_flush:
+            self._flush(self.iq.flush_penalty)
+        t5 = clock()
+        self._check_invariants(cycle)
+        t6 = clock()
+        profiler.record("complete", t1 - t0)
+        profiler.record("commit", t2 - t1)
+        profiler.record("issue", t3 - t2)
+        profiler.record("dispatch", t4 - t3)
+        profiler.record("iq_tick", t5 - t4)
+        profiler.record("guards", t6 - t5)
+        profiler.sampled_cycles += 1
 
     # -- invariant guards ------------------------------------------------------------
 
@@ -278,11 +350,28 @@ class Pipeline:
                 cycle=cycle,
             )
         self.iq.check_invariants()
-        if (
-            self.watchdog_interval is not None
-            and cycle - self._last_commit_cycle >= self.watchdog_interval
-        ):
-            raise self._commit_stall(cycle)
+        if self.watchdog_interval is not None:
+            stall = cycle - self._last_commit_cycle
+            if stall >= self.watchdog_interval:
+                raise self._commit_stall(cycle)
+            if (
+                self.telemetry is not None
+                and not self._near_stall_noted
+                and stall >= self.watchdog_interval // 2
+            ):
+                # Halfway to the watchdog firing: a near-stall worth a
+                # timeline marker even if the run later recovers.
+                self._near_stall_noted = True
+                self.telemetry.event(
+                    EV_NEAR_STALL,
+                    cycle=cycle,
+                    category="pipeline",
+                    stall_cycles=stall,
+                    watchdog_interval=self.watchdog_interval,
+                    rob=len(self.rob),
+                    iq=self.iq.occupancy,
+                    iq_ready=len(self.iq.ready),
+                )
 
     # -- forward-progress watchdog ----------------------------------------------------
 
@@ -370,6 +459,14 @@ class Pipeline:
                 consumer.pending_sources -= 1
                 if consumer.pending_sources == 0 and consumer.in_iq:
                     if self.faults is not None and self.faults.drop_wakeup(consumer):
+                        if self.telemetry is not None:
+                            self.telemetry.event(
+                                EV_FAULT,
+                                cycle=cycle,
+                                category="fault",
+                                kind="drop-wakeup",
+                                victim_seq=consumer.seq,
+                            )
                         continue
                     self.iq.wakeup(consumer)
             self.frontend.on_complete(inst, cycle)
@@ -414,6 +511,7 @@ class Pipeline:
             committed += 1
         if committed:
             self._last_commit_cycle = cycle
+            self._near_stall_noted = False
         self.stats.committed += committed
         self.iq.note_commit(committed, self.stats.llc_misses)
 
@@ -508,6 +606,15 @@ class Pipeline:
     # -- flush (SWQUE mode switch) -----------------------------------------------------
 
     def _flush(self, penalty: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.event(
+                EV_IQ_FLUSH,
+                cycle=self.cycle,
+                category="pipeline",
+                penalty=penalty,
+                window=len(self.rob),
+                mode=getattr(self.iq, "mode", None),
+            )
         squashed = self.rob.flush()
         for inst in squashed:
             self.rename.release(inst)

@@ -101,6 +101,19 @@ class PipelineStats:
             else:
                 setattr(self, name, 0)
 
+    def capture(self) -> dict:
+        """Point-in-time copy of every integer counter (``extra`` excluded).
+
+        The telemetry interval sampler differences two captures to get
+        per-interval deltas, so this must stay cheap and allocation-light:
+        one dict of ints, no derived rates.
+        """
+        return {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "extra"
+        }
+
     def as_dict(self) -> dict:
         """Flat dict of all counters and derived rates (for result tables)."""
         data = {

@@ -124,3 +124,18 @@ class MemoryHierarchy:
     @property
     def llc_misses(self) -> int:
         return self.stats.llc_misses
+
+    def telemetry_probe(self) -> dict:
+        """Hierarchy state for the interval sampler (boundary snapshot).
+
+        Cumulative counts (prefetches, MSHR merges/stalls) are totals,
+        not deltas — the sampler stores them per interval so consumers
+        can difference adjacent samples themselves.
+        """
+        return {
+            "prefetches": self.prefetches,
+            "l2_inflight": len(self._l2_inflight),
+            "l1d_mshr_inflight": len(self.l1d_mshr),
+            "l1d_mshr_merges": self.l1d_mshr.merges,
+            "l1d_mshr_full_stalls": self.l1d_mshr.full_stalls,
+        }

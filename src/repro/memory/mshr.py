@@ -57,5 +57,10 @@ class MshrFile:
         self._prune(cycle)
         return len(self._inflight)
 
+    def __len__(self) -> int:
+        """Tracked fills, including any whose completion cycle has passed
+        but which have not been pruned yet (prune-free telemetry read)."""
+        return len(self._inflight)
+
     def clear(self) -> None:
         self._inflight.clear()

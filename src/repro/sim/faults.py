@@ -60,6 +60,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
+from repro.telemetry.events import EV_FAULT
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cpu.dyninst import DynInst
     from repro.cpu.pipeline import Pipeline
@@ -125,6 +127,19 @@ class FaultInjector:
     def _armed(self, cycle: int) -> bool:
         return cycle >= self.spec.at_cycle and not self.exhausted
 
+    def _note_fired(self, pipeline: "Pipeline", **args) -> None:
+        """Put the fired fault on the telemetry timeline (if attached)."""
+        telemetry = getattr(pipeline, "telemetry", None)
+        if telemetry is not None:
+            telemetry.event(
+                EV_FAULT,
+                category="fault",
+                kind=self.spec.kind,
+                stealth=self.spec.stealth,
+                fired=self.fired,
+                **args,
+            )
+
     # -- hooks called by the pipeline -----------------------------------------------
 
     def on_cycle(self, pipeline: "Pipeline", cycle: int) -> None:
@@ -134,11 +149,13 @@ class FaultInjector:
             return
         if spec.kind == "crash":
             self.fired += 1
+            self._note_fired(pipeline, cycle=cycle)
             if spec.hard:  # pragma: no cover - kills the (worker) process
                 os._exit(13)
             raise InjectedFault(f"injected crash at cycle {cycle}")
         if spec.kind == "hang":
             self.fired += 1
+            self._note_fired(pipeline, cycle=cycle)
             time.sleep(spec.hang_seconds)
             return
         if spec.kind == "force-switch":
@@ -172,6 +189,7 @@ class FaultInjector:
         if not isinstance(iq, SwitchingQueue):
             raise ValueError("force-switch fault needs a SWQUE issue queue")
         self.fired += 1
+        self._note_fired(pipeline, from_mode=iq.mode)
         # Flip the label only: the active sub-queue no longer matches.
         iq.mode = MODE_AGE if iq.mode == MODE_CIRC_PC else MODE_CIRC_PC
 
@@ -186,6 +204,7 @@ class FaultInjector:
                 eligible = inst.issued and not inst.completed
             if eligible:
                 self.fired += 1
+                self._note_fired(pipeline, victim_seq=inst.seq)
                 pipeline.iq.ready.append(inst)
                 return
         # No victim this cycle; stay armed and retry next cycle.
@@ -215,6 +234,7 @@ class FaultInjector:
             if not any(not p.issued for p in producers):
                 continue
             self.fired += 1
+            self._note_fired(pipeline, victim_seq=inst.seq)
             for producer in producers:
                 producer.consumers.remove(inst)
             inst.pending_sources = 0
@@ -278,6 +298,7 @@ class FaultInjector:
             ):
                 continue
             self.fired += 1
+            self._note_fired(pipeline, victim_seq=inst.seq)
             inst.issued = False
             pipeline.iq.dispatch(inst)
             pipeline.iq.wakeup(inst)

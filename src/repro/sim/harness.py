@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import re
 import time
 import traceback
 import warnings
@@ -175,16 +176,24 @@ def _validate_jobs(jobs: Sequence[SweepJob]) -> None:
 # -- single-job execution -----------------------------------------------------------
 
 
+def _sanitize_key(key: str) -> str:
+    """A job key as a safe filename stem (``|``/``=`` etc. collapse)."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", key).strip("_")
+
+
 def _run_job(
     job: SweepJob,
     _trace_cache: Optional[dict] = None,
     snapshot_dir: Optional[Path] = None,
+    telemetry_dir: Optional[Path] = None,
 ) -> SimResult:
     """Execute one cell (in the caller's process); may raise.
 
     ``snapshot_dir`` arms the simulator's pre-crash snapshot: a failing
     run leaves a replayable state capture behind and attaches its path
-    to the exception.
+    to the exception.  ``telemetry_dir`` runs the cell with interval
+    telemetry enabled and exports the per-cell artifacts (timeline/
+    events JSONL + Chrome trace) there, named after the job key.
     """
     workload = job.workload
     if _trace_cache is not None and isinstance(workload, str):
@@ -199,7 +208,7 @@ def _run_job(
             )
             _trace_cache[cache_key] = trace
         workload = trace
-    return simulate(
+    result = simulate(
         workload,
         job.policy,
         config=job.config,
@@ -209,7 +218,27 @@ def _run_job(
         warmup_instructions=job.warmup_instructions,
         faults=job.fault,
         failure_snapshot_dir=snapshot_dir,
+        telemetry=telemetry_dir is not None,
     )
+    if telemetry_dir is not None and result.telemetry is not None:
+        from repro.telemetry.export import export_run
+
+        export_run(
+            result.telemetry,
+            telemetry_dir,
+            _sanitize_key(job.key),
+            meta={
+                "key": job.key,
+                "workload": job.workload_name,
+                "policy": job.policy,
+                "config": job.config.name,
+                "seed": job.seed,
+            },
+        )
+        # The sink served its purpose; results must stay light enough to
+        # cross the worker pipe and land in checkpoint records.
+        result.telemetry = None
+    return result
 
 
 def _error_info(exc: BaseException) -> dict:
@@ -226,10 +255,17 @@ def _error_info(exc: BaseException) -> dict:
     }
 
 
-def _worker_main(job: SweepJob, conn, snapshot_dir: Optional[Path] = None) -> None:
+def _worker_main(
+    job: SweepJob,
+    conn,
+    snapshot_dir: Optional[Path] = None,
+    telemetry_dir: Optional[Path] = None,
+) -> None:
     """Process-executor worker: run one cell, report over the pipe."""
     try:
-        result = _run_job(job, snapshot_dir=snapshot_dir)
+        result = _run_job(
+            job, snapshot_dir=snapshot_dir, telemetry_dir=telemetry_dir
+        )
         conn.send(("ok", result))
     except BaseException as exc:  # report everything, even SystemExit
         conn.send(("error", _error_info(exc)))
@@ -368,6 +404,8 @@ class SweepReport:
     restored: int = 0
     #: Cells actually executed this run.
     executed: int = 0
+    #: Transient-failure retries performed (attempts beyond the first).
+    retried: int = 0
     #: Unparsable checkpoint lines skipped during resume.
     corrupt_checkpoint_lines: int = 0
 
@@ -396,7 +434,9 @@ class SweepReport:
             f"sweep: {len(self.cells)} cells, {len(self.successes)} ok, "
             f"{len(self.failures)} failed "
             f"({self.restored} restored from checkpoint, "
-            f"{self.executed} executed)"
+            f"{self.executed} executed"
+            + (f", {self.retried} retried" if self.retried else "")
+            + ")"
         ]
         if self.corrupt_checkpoint_lines:
             lines.append(
@@ -456,7 +496,9 @@ def run_sweep(
     executor: str = "process",
     fail_fast: bool = False,
     snapshot_failures: Optional[Union[str, Path]] = None,
+    telemetry_dir: Optional[Union[str, Path]] = None,
     on_result: Optional[Callable[[SweepJob, CellResult], None]] = None,
+    on_retry: Optional[Callable[[SweepJob, int, str], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
     _job_runner: Callable[..., SimResult] = _run_job,
 ) -> SweepReport:
@@ -482,6 +524,13 @@ def run_sweep(
     shortly before the failure in that directory, its path recorded on
     the :class:`~repro.sim.results.FailedResult` — replay it with
     ``python -m repro replay <path>``.
+
+    ``telemetry_dir=<dir>`` runs every cell with interval telemetry and
+    exports per-cell artifacts (``<key>.timeline.jsonl``,
+    ``<key>.events.jsonl``, ``<key>.trace.json``) into that directory as
+    each cell completes.  ``on_retry(job, next_attempt, error_type)`` is
+    called before each transient-failure re-run (the report counts them
+    in :attr:`SweepReport.retried`).
     """
     jobs = list(jobs)
     _validate_jobs(jobs)
@@ -505,10 +554,23 @@ def run_sweep(
     report = SweepReport()
     done: Dict[str, CellResult] = {}
     snapshot_dir = Path(snapshot_failures) if snapshot_failures is not None else None
-    if snapshot_dir is not None and _job_runner is _run_job:
+    tel_dir = Path(telemetry_dir) if telemetry_dir is not None else None
+    if (snapshot_dir is not None or tel_dir is not None) and _job_runner is _run_job:
 
-        def _job_runner(job, _trace_cache=None, _dir=snapshot_dir):
-            return _run_job(job, _trace_cache=_trace_cache, snapshot_dir=_dir)
+        def _job_runner(
+            job, _trace_cache=None, _snap=snapshot_dir, _tel=tel_dir
+        ):
+            return _run_job(
+                job,
+                _trace_cache=_trace_cache,
+                snapshot_dir=_snap,
+                telemetry_dir=_tel,
+            )
+
+    def note_retry(job: SweepJob, next_attempt: int, error_type: str) -> None:
+        report.retried += 1
+        if on_retry is not None:
+            on_retry(job, next_attempt, error_type)
 
     # Restore finished cells before launching anything.
     checkpoint_handle = None
@@ -558,7 +620,14 @@ def run_sweep(
     try:
         if executor == "inline":
             _run_inline(
-                todo, finish, retries, backoff, transient, sleep, _job_runner
+                todo,
+                finish,
+                retries,
+                backoff,
+                transient,
+                sleep,
+                _job_runner,
+                note_retry,
             )
         else:
             _run_processes(
@@ -570,6 +639,8 @@ def run_sweep(
                 backoff=backoff,
                 transient=transient,
                 snapshot_dir=snapshot_dir,
+                telemetry_dir=tel_dir,
+                note_retry=note_retry,
             )
     finally:
         if checkpoint_handle is not None:
@@ -589,6 +660,7 @@ def _run_inline(
     transient: Sequence[str],
     sleep: Callable[[float], None],
     job_runner: Callable[..., SimResult],
+    note_retry: Optional[Callable[[SweepJob, int, str], None]] = None,
 ) -> None:
     trace_cache: dict = {}
     for job in todo:
@@ -606,6 +678,8 @@ def _run_inline(
                     if delay:
                         sleep(delay)
                     attempt += 1
+                    if note_retry is not None:
+                        note_retry(job, attempt, type(exc).__name__)
                     continue
                 failure = _failure_from_info(job, _error_info(exc), attempt)
                 # Inline-only: keep the live exception so fail-fast callers
@@ -624,6 +698,8 @@ def _run_processes(
     backoff: float,
     transient: Sequence[str],
     snapshot_dir: Optional[Path] = None,
+    telemetry_dir: Optional[Path] = None,
+    note_retry: Optional[Callable[[SweepJob, int, str], None]] = None,
 ) -> None:
     if max_workers is None:
         max_workers = max(1, (os.cpu_count() or 2) - 1)
@@ -650,6 +726,8 @@ def _run_processes(
             and entry.attempt <= retries
         ):
             delay = backoff * (2 ** (entry.attempt - 1))
+            if note_retry is not None:
+                note_retry(entry.job, entry.attempt + 1, info["error_type"])
             pending.append((entry.job, entry.attempt + 1, time.monotonic() + delay))
         else:
             finish(entry.job, _failure_from_info(entry.job, info, entry.attempt))
@@ -669,7 +747,7 @@ def _run_processes(
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(job, child_conn, snapshot_dir),
+                    args=(job, child_conn, snapshot_dir, telemetry_dir),
                     daemon=True,
                 )
                 proc.start()

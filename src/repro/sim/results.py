@@ -54,6 +54,11 @@ class SimResult:
     config_hash: str = ""
     version: str = ""
     commit_digest: str = ""
+    #: The run's :class:`repro.telemetry.Telemetry` sink when telemetry
+    #: was enabled (typed loosely to keep this module import-light).
+    #: Excluded from checkpoint records — export it explicitly via
+    #: :func:`repro.telemetry.export_run`.
+    telemetry: Optional[object] = None
 
     #: Sweep-harness cell status (see :class:`FailedResult`).
     ok = True

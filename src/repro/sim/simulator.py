@@ -40,6 +40,8 @@ from repro.cpu.stats import PipelineStats
 from repro.cpu.trace import Trace
 from repro.sim.faults import FaultInjector, FaultSpec
 from repro.sim.results import SimResult
+from repro.telemetry.events import EV_SNAPSHOT
+from repro.telemetry.probes import Telemetry, TelemetryConfig, resolve_telemetry
 from repro.verify.oracle import GoldenModel
 from repro.verify.snapshot import (
     SNAPSHOT_SUFFIX,
@@ -116,6 +118,7 @@ def result_from_pipeline(pipeline: Pipeline) -> SimResult:
         config_hash=config_digest(pipeline.config),
         version=__version__,
         commit_digest=pipeline.commit_digest.hexdigest(),
+        telemetry=getattr(pipeline, "telemetry", None),
     )
 
 
@@ -133,6 +136,7 @@ def simulate(
     snapshot_interval: Optional[int] = None,
     snapshot_dir: Optional[Union[str, Path]] = None,
     failure_snapshot_dir: Optional[Union[str, Path]] = None,
+    telemetry: Union[None, bool, TelemetryConfig, Telemetry] = None,
 ) -> SimResult:
     """Run one workload under one IQ policy and return the result.
 
@@ -155,6 +159,13 @@ def simulate(
     disables the watchdog); ``snapshot_dir`` writes a snapshot every
     ``snapshot_interval`` cycles; ``failure_snapshot_dir`` writes a
     pre-crash snapshot only when the run fails (see module docstring).
+
+    ``telemetry`` enables the observability subsystem
+    (:mod:`repro.telemetry`): pass ``True`` for the default interval
+    sampler, a :class:`~repro.telemetry.TelemetryConfig` to tune it, or
+    a prepared :class:`~repro.telemetry.Telemetry` sink.  The sink comes
+    back on ``result.telemetry`` (and on ``exc.telemetry`` when the run
+    fails), ready for :func:`repro.telemetry.export_run`.
     """
     if not isinstance(workload, Trace) and num_instructions <= 0:
         raise ValueError(
@@ -199,6 +210,9 @@ def simulate(
         "seed": _effective_seed(workload, seed),
         "num_instructions": len(trace),
     }
+    tel = resolve_telemetry(telemetry)
+    if tel is not None:
+        tel.attach(pipeline)
 
     periodic_dir = Path(snapshot_dir) if snapshot_dir is not None else None
     failure_dir = (
@@ -211,13 +225,22 @@ def simulate(
 
         def sink(p: Pipeline) -> None:
             data = snapshot_bytes(p)
+            path: Optional[Path] = None
             if periodic_dir is not None:
-                write_bytes_atomic(
+                path = write_bytes_atomic(
                     data, periodic_dir / f"{cell}-c{p.cycle}{SNAPSHOT_SUFFIX}"
                 )
             if failure_dir is not None:
                 rolling["bytes"] = data
                 rolling["cycle"] = p.cycle
+            if p.telemetry is not None:
+                p.telemetry.event(
+                    EV_SNAPSHOT,
+                    category="verify",
+                    kind="periodic" if path is not None else "rolling",
+                    bytes=len(data),
+                    path=str(path) if path is not None else None,
+                )
 
         pipeline.snapshot_sink = sink
 
@@ -236,6 +259,11 @@ def simulate(
                 / f"{cell}-c{rolling['cycle']}-failed{SNAPSHOT_SUFFIX}",
             )
             exc.snapshot_path = str(path)
+        if pipeline.telemetry is not None:
+            # Whatever was sampled before the failure is itself evidence;
+            # close the last interval so it is not silently dropped.
+            pipeline.telemetry.finish(pipeline.cycle)
+            exc.telemetry = pipeline.telemetry
         raise
     if periodic_dir is not None:
         # Final state too, so `resume_to_result` on the last periodic

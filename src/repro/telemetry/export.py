@@ -1,0 +1,293 @@
+"""Telemetry exporters: JSONL time series and Chrome/Perfetto traces.
+
+Two output families:
+
+* **JSONL** — one self-describing header line followed by one record per
+  interval sample (:func:`write_interval_jsonl`) or per event
+  (:func:`write_events_jsonl`).  Greppable, streamable, pandas-friendly.
+* **Chrome ``trace_event`` JSON** (:func:`chrome_trace`) — loads directly
+  in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Interval
+  metrics become counter tracks (``ph: "C"``), SWQUE mode residency
+  becomes complete spans (``ph: "X"``), and discrete events become
+  instants (``ph: "i"``).  One simulated cycle is mapped to one
+  microsecond of trace time (``ts`` is in µs by convention).
+
+:func:`validate_chrome_trace` is the structural schema check the tests
+(and CI) run on every produced trace, so a malformed event can never
+silently ship.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.telemetry.events import EV_MODE_SWITCH
+from repro.telemetry.probes import TELEMETRY_SCHEMA_VERSION, Telemetry
+
+#: trace_event phase codes this exporter emits / the validator accepts.
+_VALID_PHASES = frozenset("BEXiICMbne")
+
+#: pid/tid layout of the exported trace.
+_PID = 1
+_TID_COUNTERS = 1
+_TID_MODE = 2
+_TID_EVENTS = 3
+
+
+def _header(telemetry: Telemetry, kind: str, meta: Optional[dict]) -> dict:
+    record = {
+        "record": "header",
+        "kind": kind,
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "interval": telemetry.config.interval,
+        "occupancy_buckets": telemetry.config.occupancy_buckets,
+        "samples": len(telemetry.samples),
+        "events": len(telemetry.events),
+        "dropped_events": telemetry.dropped_events,
+    }
+    if meta:
+        record["run"] = meta
+    return record
+
+
+def _write_jsonl(records, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def write_interval_jsonl(
+    telemetry: Telemetry, path: Union[str, Path], meta: Optional[dict] = None
+) -> Path:
+    """Write the interval time series as JSONL; returns the path."""
+    records = [_header(telemetry, "intervals", meta)]
+    records.extend(sample.as_dict() for sample in telemetry.samples)
+    return _write_jsonl(records, path)
+
+
+def write_events_jsonl(
+    telemetry: Telemetry, path: Union[str, Path], meta: Optional[dict] = None
+) -> Path:
+    """Write the discrete-event timeline as JSONL; returns the path."""
+    records = [_header(telemetry, "events", meta)]
+    records.extend(event.as_dict() for event in telemetry.events)
+    return _write_jsonl(records, path)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Load a telemetry JSONL file back into a list of dict records."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- Chrome trace_event ---------------------------------------------------------------
+
+
+def _counter(name: str, ts: int, values: Dict[str, float]) -> dict:
+    return {
+        "name": name,
+        "ph": "C",
+        "ts": ts,
+        "pid": _PID,
+        "tid": _TID_COUNTERS,
+        "args": values,
+    }
+
+
+def _thread_name(tid: int, name: str) -> dict:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "ts": 0,
+        "pid": _PID,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def chrome_trace(telemetry: Telemetry, meta: Optional[dict] = None) -> dict:
+    """Build a Chrome/Perfetto ``trace_event`` document (1 cycle = 1 µs)."""
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": _PID,
+            "tid": _TID_COUNTERS,
+            "args": {"name": "repro simulator"},
+        },
+        _thread_name(_TID_COUNTERS, "interval metrics"),
+        _thread_name(_TID_MODE, "IQ mode"),
+        _thread_name(_TID_EVENTS, "events"),
+    ]
+
+    for sample in telemetry.samples:
+        ts = sample.cycle_start
+        events.append(_counter("IPC", ts, {"ipc": round(sample.ipc, 4)}))
+        events.append(_counter("LLC MPKI", ts, {"mpki": round(sample.mpki, 3)}))
+        events.append(_counter("FLPI", ts, {"flpi": round(sample.flpi, 4)}))
+        events.append(
+            _counter(
+                "IQ occupancy",
+                ts,
+                {"mean": round(sample.mean_iq_occupancy, 2)},
+            )
+        )
+        events.append(
+            _counter(
+                "dispatch stalls",
+                ts,
+                {k: v for k, v in sample.dispatch_stalls.items()},
+            )
+        )
+
+    # Mode residency spans: boundaries are the completed mode switches;
+    # the first sample names the starting mode.
+    if telemetry.samples:
+        span_start = telemetry.samples[0].cycle_start
+        end = telemetry.samples[-1].cycle_end
+        switches = sorted(
+            telemetry.events_named(EV_MODE_SWITCH), key=lambda e: e.cycle
+        )
+        mode = (
+            switches[0].args.get("from_mode")
+            if switches
+            else telemetry.samples[0].mode
+        )
+        boundaries = [(e.cycle, e.args.get("to_mode")) for e in switches]
+        boundaries.append((end, None))
+        if mode is not None:
+            for cycle, next_mode in boundaries:
+                if cycle > span_start:
+                    events.append(
+                        {
+                            "name": f"mode:{mode}",
+                            "cat": "swque",
+                            "ph": "X",
+                            "ts": span_start,
+                            "dur": cycle - span_start,
+                            "pid": _PID,
+                            "tid": _TID_MODE,
+                            "args": {"mode": mode},
+                        }
+                    )
+                span_start = cycle
+                if next_mode is None:
+                    break
+                mode = next_mode
+
+    for event in telemetry.events:
+        events.append(
+            {
+                "name": event.name,
+                "cat": event.category,
+                "ph": "i",
+                "s": "g",
+                "ts": event.cycle,
+                "pid": _PID,
+                "tid": _TID_EVENTS,
+                "args": dict(event.args),
+            }
+        )
+
+    other: Dict[str, object] = {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "interval_cycles": telemetry.config.interval,
+        "cycle_time_unit": "1 cycle rendered as 1 us",
+    }
+    if meta:
+        other["run"] = meta
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    telemetry: Telemetry, path: Union[str, Path], meta: Optional[dict] = None
+) -> Path:
+    """Write :func:`chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = chrome_trace(telemetry, meta=meta)
+    validate_chrome_trace(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return path
+
+
+def validate_chrome_trace(document: dict) -> None:
+    """Structural ``trace_event`` schema check; raises ``ValueError``.
+
+    Enforces the subset of the Trace Event Format spec that Perfetto and
+    ``chrome://tracing`` require to load a JSON-object trace: a
+    ``traceEvents`` list whose members carry ``name``/``ph``/``ts``/
+    ``pid``/``tid``, a known phase code, a non-negative integer ``dur``
+    on complete (``X``) events, a valid scope on instants, and
+    JSON-serializable ``args``.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    trace_events = document.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise ValueError("trace document needs a 'traceEvents' list")
+    for position, event in enumerate(trace_events):
+        origin = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{origin}: not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"{origin}: missing required key {key!r}")
+        phase = event["ph"]
+        if not isinstance(phase, str) or phase not in _VALID_PHASES:
+            raise ValueError(f"{origin}: unknown phase code {phase!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValueError(f"{origin}: ts must be a non-negative number")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{origin}: 'X' event needs non-negative dur")
+        if phase == "i" and event.get("s") not in (None, "g", "p", "t"):
+            raise ValueError(f"{origin}: instant scope must be g/p/t")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"{origin}: args must be an object")
+    try:
+        json.dumps(document)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"trace document is not JSON-serializable: {exc}") from exc
+
+
+def export_run(
+    telemetry: Telemetry,
+    directory: Union[str, Path],
+    basename: str,
+    meta: Optional[dict] = None,
+) -> Dict[str, Path]:
+    """Write the full artifact set for one run into ``directory``.
+
+    Produces ``<basename>.timeline.jsonl``, ``<basename>.events.jsonl``,
+    and ``<basename>.trace.json``; returns the paths keyed by kind.
+    """
+    directory = Path(directory)
+    return {
+        "timeline": write_interval_jsonl(
+            telemetry, directory / f"{basename}.timeline.jsonl", meta=meta
+        ),
+        "events": write_events_jsonl(
+            telemetry, directory / f"{basename}.events.jsonl", meta=meta
+        ),
+        "trace": write_chrome_trace(
+            telemetry, directory / f"{basename}.trace.json", meta=meta
+        ),
+    }

@@ -15,8 +15,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from repro.telemetry.probes import Telemetry, TelemetryConfig
 from repro.verify.oracle import ArchitecturalMismatch
 from repro.verify.snapshot import Snapshot, load_snapshot
+
+#: Replay windows are short and under the microscope: sample at full
+#: resolution by default (vs the normal 10k-cycle interval).
+DEFAULT_REPLAY_TELEMETRY_INTERVAL = 500
 
 
 @dataclass
@@ -31,6 +36,9 @@ class ReplayOutcome:
     committed: int
     commit_digest: str
     error: Optional[BaseException] = None
+    #: The replay window's telemetry sink (full-resolution by default);
+    #: export it with :func:`repro.telemetry.export_run`.
+    telemetry: Optional[Telemetry] = None
 
     @property
     def ok(self) -> bool:
@@ -82,6 +90,8 @@ def replay(
     cycles: Optional[int] = None,
     trace: bool = True,
     out: Callable[[str], None] = print,
+    telemetry: bool = True,
+    telemetry_interval: int = DEFAULT_REPLAY_TELEMETRY_INTERVAL,
 ) -> ReplayOutcome:
     """Re-run ``snapshot`` for up to ``cycles`` cycles, tracing each one.
 
@@ -91,6 +101,13 @@ def replay(
     :class:`~repro.verify.oracle.ArchitecturalMismatch`, the
     divergence/watchdog family) and raw crashes alike — is caught and
     returned in the outcome rather than re-raised.
+
+    ``telemetry`` (default on) ensures the replayed window is sampled at
+    full resolution (``telemetry_interval`` cycles): if the snapshot
+    already carries a telemetry sink it is kept as-is (so a resumed run's
+    interval alignment stays bit-identical); otherwise a fresh
+    fine-grained one is attached.  The sink lands on
+    ``outcome.telemetry``.
     """
     from repro.cpu.pipeline import SimulationDiverged  # import cycle guard
 
@@ -99,6 +116,8 @@ def replay(
     if not isinstance(snapshot, Snapshot):
         snapshot = load_snapshot(snapshot)
     pipeline = snapshot.pipeline
+    if telemetry and getattr(pipeline, "telemetry", None) is None:
+        Telemetry(TelemetryConfig(interval=telemetry_interval)).attach(pipeline)
     if trace:
         out(snapshot.meta.summary())
     _watch = (
@@ -135,6 +154,11 @@ def replay(
             if isinstance(exc, ArchitecturalMismatch):
                 out("last commits before divergence:")
                 out(exc.recent_summary())
+    tel = getattr(pipeline, "telemetry", None)
+    if tel is not None:
+        # replay() drives step() directly, so the run loop's own finish
+        # never happens; close the last partial interval here.
+        tel.finish(pipeline.cycle)
     return ReplayOutcome(
         status=status,
         cycles_run=pipeline.cycle - start_cycle,
@@ -142,4 +166,5 @@ def replay(
         committed=pipeline.stats.committed,
         commit_digest=pipeline.commit_digest.hexdigest(),
         error=error,
+        telemetry=tel,
     )

@@ -45,7 +45,10 @@ _MAGIC = b"SWQSNAP"
 #: Current snapshot schema version.  Bump on ANY change to what the
 #: payload contains or how the header is interpreted; readers reject
 #: versions they do not know rather than misread them.
-SNAPSHOT_VERSION = 1
+#: v2: the pipeline payload gained telemetry state (the attached
+#: :class:`repro.telemetry.Telemetry` sink travels with the snapshot so
+#: a resumed run keeps its interval alignment).
+SNAPSHOT_VERSION = 2
 
 #: File suffix convention for snapshot artifacts.
 SNAPSHOT_SUFFIX = ".snap"
