@@ -22,6 +22,9 @@ Public surface:
 * :mod:`repro.telemetry` -- interval time series, structured event
   tracing with Chrome/Perfetto export, and simulator-throughput
   profiling.
+* :mod:`repro.service` -- simulation-as-a-service: content-addressed
+  result cache, priority job scheduler with single-flight dedup and
+  backpressure, and the ``python -m repro serve`` HTTP API.
 """
 
 from repro._version import __version__

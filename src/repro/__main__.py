@@ -10,6 +10,7 @@ Examples::
     python -m repro sweep --policies age swque --timeout 600 --retries 2 \\
         --checkpoint sweep.jsonl --resume --snapshot-failures snaps/
     python -m repro replay snaps/mcf-swque-medium-c12000-failed.snap
+    python -m repro serve --port 8642 --workers 4 --cache-dir .repro-cache
     python -m repro list
 """
 
@@ -161,6 +162,41 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="CYCLES",
                         help="replay telemetry sampling interval "
                              "(default 500: full-resolution for short windows)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service: HTTP API with a content-addressed "
+             "result cache and a priority job scheduler",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (default 8642; 0 = ephemeral)")
+    serve.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                       help="content-addressed result store (default "
+                            "./.repro-cache); 'none' disables caching")
+    serve.add_argument("--cache-max-mb", type=int, default=64,
+                       help="cache size bound in MiB; least-recently-used "
+                            "entries are evicted beyond it (default 64)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="scheduler worker threads (default 2)")
+    serve.add_argument("--backlog", type=int, default=64,
+                       help="max queued jobs before submissions are "
+                            "rejected with 429 (default 64)")
+    serve.add_argument("--executor", choices=["inline", "process"],
+                       default="process",
+                       help="per-job execution: 'process' isolates each "
+                            "job and enforces --timeout (default); "
+                            "'inline' runs in the worker thread")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock budget (process executor)")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="transient-failure retries per job (default 1)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="on shutdown, finish accepted jobs for up to "
+                            "this long; the rest spill to the cache dir "
+                            "as retryable (default 30)")
 
     sub.add_parser("list", help="list workloads and policies")
     return parser
@@ -351,7 +387,49 @@ def main(argv=None) -> int:
         )
         print()
         print(report.summary())
+        if report.interrupted:
+            return 130  # conventional fatal-signal exit for SIGINT
         return 0 if report.all_ok else 1
+    if args.command == "serve":
+        from repro.service import ReproService
+
+        cache_dir = None if args.cache_dir == "none" else args.cache_dir
+        service = ReproService(
+            host=args.host,
+            port=args.port,
+            cache_dir=cache_dir,
+            cache_max_bytes=args.cache_max_mb * 1024 * 1024,
+            workers=args.workers,
+            max_backlog=args.backlog,
+            executor=args.executor,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+        host, port = service.address
+        print(f"repro serve: listening on http://{host}:{port}", flush=True)
+        if service.recovered:
+            print(f"  recovered {service.recovered} spilled job(s) from a "
+                  f"previous shutdown", flush=True)
+        print(f"  cache: {cache_dir or 'disabled'}  workers: {args.workers}  "
+              f"backlog: {args.backlog}  executor: {args.executor}",
+              flush=True)
+        import signal as _signal
+
+        def _term(signum, frame):
+            raise KeyboardInterrupt(f"signal {signum}")
+
+        _signal.signal(_signal.SIGTERM, _term)
+        try:
+            service.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        print("repro serve: draining...", flush=True)
+        outcome = service.stop(drain=True, timeout=args.drain_timeout)
+        if outcome["spilled"]:
+            print(f"repro serve: spilled {outcome['spilled']} queued job(s) "
+                  f"as retryable (resubmitted on next start)", flush=True)
+        print("repro serve: bye", flush=True)
+        return 0
     if args.command == "experiment":
         func = _EXPERIMENTS[args.name]
         if args.name in _ANALYTIC:

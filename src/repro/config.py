@@ -164,6 +164,22 @@ LARGE = replace(
 )
 
 
+#: Named reference configurations addressable over the wire (the service
+#: API and job spill files refer to configs by name, never by value).
+CONFIGS = {"medium": MEDIUM, "large": LARGE}
+
+
+def get_config(name: str) -> ProcessorConfig:
+    """Look up a named reference configuration (:data:`CONFIGS`)."""
+    try:
+        return CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown processor config {name!r}; "
+            f"choose from {sorted(CONFIGS)}"
+        ) from None
+
+
 def scaled_iq_config(base: ProcessorConfig, iq_entries: int) -> ProcessorConfig:
     """Return ``base`` with a different IQ size (Table 6 cost-neutral AGE-150)."""
     if iq_entries < base.issue_width:

@@ -1,0 +1,49 @@
+"""Simulation-as-a-service: cache, scheduler, HTTP server, client.
+
+The serving layer over the reproduction (DESIGN.md §10).  Three pieces,
+composable on their own or together through
+:class:`~repro.service.server.ReproService`:
+
+* :mod:`repro.service.cache` — a content-addressed, on-disk result
+  store: repeat experiments become file reads, never re-simulations.
+* :mod:`repro.service.scheduler` — a multi-worker priority scheduler
+  with single-flight dedup, bounded-backlog backpressure, and graceful
+  drain, executing each job through the fault-tolerant sweep harness.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only HTTP API (``python -m repro serve``) and its thin client.
+"""
+
+from repro.service.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    UncacheableJob,
+    cache_key,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import (
+    BacklogFull,
+    JobRecord,
+    JobScheduler,
+    SchedulerClosed,
+    UnknownJob,
+    job_from_dict,
+    job_to_dict,
+)
+from repro.service.server import ReproService
+
+__all__ = [
+    "BacklogFull",
+    "CACHE_SCHEMA_VERSION",
+    "JobRecord",
+    "JobScheduler",
+    "ReproService",
+    "ResultCache",
+    "SchedulerClosed",
+    "ServiceClient",
+    "ServiceError",
+    "UncacheableJob",
+    "UnknownJob",
+    "cache_key",
+    "job_from_dict",
+    "job_to_dict",
+]

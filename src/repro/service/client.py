@@ -1,0 +1,136 @@
+"""Thin stdlib client for the ``repro serve`` HTTP API.
+
+Mirrors the server's routes one method per endpoint, JSON in / JSON
+out, with non-2xx responses raised as :class:`ServiceError` carrying
+the HTTP status and the server's error payload.  Built on
+``urllib.request`` only.
+
+Quickstart::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    job = client.submit(workload="xz", policy="swque",
+                        num_instructions=20_000)
+    record = client.result(job["id"], wait=True)
+    print(record["result"]["stats"]["committed"], "instructions served",
+          "from cache" if record["cached"] else "freshly simulated")
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+from repro.sim.results import result_from_dict
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx API response: carries ``status`` and the error payload."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = (
+            payload.get("error") if isinstance(payload, dict) else None
+        ) or f"HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """One server endpoint, addressed by base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------------
+
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, OSError):
+                body = {"error": str(exc)}
+            raise ServiceError(exc.code, body) from None
+
+    # -- endpoints -------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def metricsz(self) -> dict:
+        return self._request("/metricsz")
+
+    def submit(self, **job) -> dict:
+        """Admit one job; keyword arguments are the job-spec fields
+        (``workload``, ``policy``, ``config``, ``num_instructions``,
+        ``seed``, ``max_cycles``, ``warmup_instructions``, ``priority``)."""
+        return self._request("/submit", payload=job)
+
+    def batch(self, jobs: List[dict]) -> List[dict]:
+        """Admit several jobs; per-job records or error objects."""
+        return self._request("/batch", payload={"jobs": jobs})["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request(f"/status/{job_id}")
+
+    def result(
+        self, job_id: str, wait: bool = False, timeout: Optional[float] = None
+    ) -> dict:
+        """The job record with its result; blocks server-side when
+        ``wait=True`` (the server caps very large timeouts)."""
+        query = ""
+        if wait:
+            query = "?wait=1"
+            if timeout is not None:
+                query += f"&timeout={timeout:g}"
+        return self._request(f"/result/{job_id}{query}")
+
+    # -- conveniences ----------------------------------------------------------------
+
+    def wait_result(self, job_id: str, timeout: float = 120.0, poll: float = 0.1):
+        """Block until ``job_id`` is terminal; returns a rebuilt
+        :class:`~repro.sim.results.SimResult`/``FailedResult``.
+
+        Uses server-side waits, falling back to polling if the record
+        is still pending when a wait window expires.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still pending after {timeout:g}s"
+                )
+            record = self.result(job_id, wait=True, timeout=remaining)
+            if record.get("result") is not None:
+                return result_from_dict(record["result"])
+            if record.get("state") in ("done", "failed"):
+                raise ServiceError(500, {"error": "terminal record lost its result"})
+            time.sleep(poll)
+
+    def wait_healthy(self, timeout: float = 10.0, poll: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, ServiceError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(poll)

@@ -1,0 +1,507 @@
+"""Priority job scheduler: admission control for simulation work.
+
+The paper treats the issue queue as a resource worth explicit priority
+policy; this module applies the same discipline to the repo's own
+workload.  Jobs (sweep cells, :class:`~repro.sim.harness.SweepJob`) are
+admitted into a bounded backlog, ordered by caller priority (ties
+FIFO), and executed by a small pool of worker threads that reuse the
+PR-1 harness per job — so per-job wall-clock timeouts, transient-retry
+with exponential backoff, and process isolation all come for free from
+:func:`repro.sim.harness.run_sweep`.
+
+Three queueing behaviours matter more than raw throughput:
+
+* **Single-flight deduplication** — a submission whose content address
+  (:func:`repro.service.cache.cache_key`) matches an in-flight job does
+  not enqueue a second simulation; it attaches to the running one and
+  receives the same result.  Combined with the result cache, N
+  identical submissions cost exactly one simulation, ever.
+* **Backpressure** — when the backlog is full, :meth:`JobScheduler.submit`
+  raises :class:`BacklogFull` immediately instead of queueing unbounded
+  work; the HTTP layer maps this to 429.
+* **Graceful drain** — :meth:`JobScheduler.shutdown` stops admissions
+  and either completes every accepted job (``drain=True``) or persists
+  the still-queued ones to a JSONL spill file as *retryable*, from
+  which a restarted scheduler resubmits them
+  (:meth:`JobScheduler.recover_spilled`).  Accepted work is never
+  silently dropped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.config import get_config
+from repro.service.cache import ResultCache, UncacheableJob, cache_key
+from repro.sim.harness import CellResult, SweepJob, run_sweep
+from repro.sim.results import FailedResult
+from repro.telemetry.metrics import CounterSet
+from repro.telemetry.profile import RateMeter
+
+#: Terminal job states (the only states carrying a result).
+TERMINAL_STATES = ("done", "failed")
+
+#: Every state a job record can be in.
+JOB_STATES = ("queued", "running", "retryable") + TERMINAL_STATES
+
+
+class BacklogFull(RuntimeError):
+    """The bounded backlog is at capacity; resubmit later (HTTP 429)."""
+
+
+class SchedulerClosed(RuntimeError):
+    """The scheduler is shutting down and admits no new work (HTTP 503)."""
+
+
+class UnknownJob(KeyError):
+    """No record exists for the requested job id (HTTP 404)."""
+
+
+def job_to_dict(job: SweepJob, priority: int = 0) -> dict:
+    """Wire/spill form of a job: named workload + named config only."""
+    return {
+        "workload": job.workload_name,
+        "policy": job.policy,
+        "config": job.config.name,
+        "num_instructions": job.num_instructions,
+        "seed": job.seed,
+        "max_cycles": job.max_cycles,
+        "warmup_instructions": job.warmup_instructions,
+        "priority": priority,
+    }
+
+
+def job_from_dict(data: dict) -> SweepJob:
+    """Rebuild a :class:`SweepJob` from :func:`job_to_dict` output.
+
+    Raises ``ValueError``/``KeyError`` for malformed payloads — the
+    HTTP layer maps these to 400, the spill recovery skips them.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("job payload must be a JSON object")
+    workload = data["workload"]
+    if not isinstance(workload, str):
+        raise ValueError("workload must be a profile name")
+    from repro.core.factory import IQ_POLICIES
+    from repro.workloads.spec2017 import SPEC2017_PROFILES
+
+    if workload not in SPEC2017_PROFILES:
+        raise ValueError(
+            f"unknown workload {workload!r}; "
+            f"available: {sorted(SPEC2017_PROFILES)}"
+        )
+    policy = data.get("policy")
+    if policy not in IQ_POLICIES:
+        raise ValueError(
+            f"unknown IQ policy {policy!r}; choose from {IQ_POLICIES}"
+        )
+    for budget in ("num_instructions", "seed", "max_cycles",
+                   "warmup_instructions"):
+        value = data.get(budget)
+        if value is not None and not isinstance(value, int):
+            raise ValueError(f"{budget} must be an integer (or null)")
+    return SweepJob(
+        workload=workload,
+        policy=data["policy"],
+        config=get_config(data.get("config") or "medium"),
+        num_instructions=data.get("num_instructions") or 30_000,
+        seed=data.get("seed"),
+        max_cycles=data.get("max_cycles"),
+        warmup_instructions=data.get("warmup_instructions"),
+    )
+
+
+@dataclass
+class JobRecord:
+    """One accepted submission and everything a client may ask about it."""
+
+    id: str
+    job: SweepJob
+    priority: int = 0
+    state: str = "queued"
+    #: Served straight from the warm cache, no queueing at all.
+    cached: bool = False
+    #: Attached to an identical in-flight job (single-flight).
+    deduped: bool = False
+    key: Optional[str] = None           # content address (None: uncacheable)
+    result: Optional[CellResult] = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, include_result: bool = False) -> dict:
+        payload = {
+            "id": self.id,
+            "job": job_to_dict(self.job, self.priority),
+            "state": self.state,
+            "cached": self.cached,
+            "deduped": self.deduped,
+            "key": self.key,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+        if include_result:
+            payload["result"] = (
+                self.result.to_dict() if self.result is not None else None
+            )
+        return payload
+
+
+class JobScheduler:
+    """Multi-worker priority scheduler over the sweep harness."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        workers: int = 2,
+        max_backlog: int = 64,
+        executor: str = "inline",
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.5,
+        spill_path: Optional[Union[str, Path]] = None,
+        counters: Optional[CounterSet] = None,
+        job_runner: Optional[Callable] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if max_backlog < 1:
+            raise ValueError("max_backlog must be positive")
+        self.cache = cache
+        self.max_backlog = max_backlog
+        self.executor = executor
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.spill_path = Path(spill_path) if spill_path is not None else None
+        # Pre-seeded so /metricsz always exports the full key set, even
+        # for counters that have never fired.
+        self.counters = counters if counters is not None else CounterSet(
+            submitted=0,
+            completed=0,
+            failed=0,
+            cache_hits=0,
+            deduped=0,
+            rejected_backlog=0,
+            rejected_closed=0,
+            spilled=0,
+            recovered=0,
+        )
+        self.meter = RateMeter()
+        self._job_runner = job_runner
+
+        self._cond = threading.Condition()
+        self._records: Dict[str, JobRecord] = {}
+        self._heap: List[tuple] = []        # (-priority, seq, job_id)
+        self._seq = 0
+        self._queued = 0
+        self._running = 0
+        self._inflight: Dict[str, str] = {}     # cache key -> primary job id
+        self._followers: Dict[str, List[str]] = {}  # primary id -> dedup ids
+        self._closed = False
+        self._halt = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- admission -------------------------------------------------------------------
+
+    def submit(self, job: SweepJob, priority: int = 0) -> JobRecord:
+        """Admit one job; returns its record (possibly already terminal).
+
+        The fast paths never enqueue anything: a warm cache entry comes
+        back as an already-``done`` record (``cached=True``), and a
+        submission identical to an in-flight job attaches to it
+        (``deduped=True``).  Otherwise the job joins the priority
+        backlog — or :class:`BacklogFull` is raised when it is at
+        capacity.
+        """
+        try:
+            key = cache_key(job)
+        except UncacheableJob:
+            key = None
+        with self._cond:
+            if self._closed:
+                self.counters.inc("rejected_closed")
+                raise SchedulerClosed("scheduler is shutting down")
+            self.counters.inc("submitted")
+            record = JobRecord(
+                id=self._next_id(), job=job, priority=priority, key=key
+            )
+            if key is not None and self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    record.state = "done"
+                    record.cached = True
+                    record.result = cached
+                    record.finished_at = time.time()
+                    self.counters.inc("cache_hits")
+                    self._records[record.id] = record
+                    return record
+            if key is not None and key in self._inflight:
+                primary_id = self._inflight[key]
+                primary = self._records[primary_id]
+                record.deduped = True
+                if primary.terminal:  # pragma: no cover - settle clears map
+                    record.state = primary.state
+                    record.result = primary.result
+                    record.finished_at = time.time()
+                else:
+                    self._followers.setdefault(primary_id, []).append(record.id)
+                self.counters.inc("deduped")
+                self._records[record.id] = record
+                return record
+            if self._queued >= self.max_backlog:
+                self.counters.inc("rejected_backlog")
+                raise BacklogFull(
+                    f"backlog full ({self._queued} queued >= "
+                    f"{self.max_backlog}); retry after the queue drains"
+                )
+            self._records[record.id] = record
+            if key is not None:
+                self._inflight[key] = record.id
+            self._seq += 1
+            heapq.heappush(self._heap, (-priority, self._seq, record.id))
+            self._queued += 1
+            self.counters.set_gauge("queue_depth", self._queued)
+            self._cond.notify()
+            return record
+
+    def submit_batch(self, jobs, priority: int = 0) -> List[JobRecord]:
+        """Admit several jobs; all-or-nothing is NOT guaranteed — each
+        job is admitted independently (callers see per-job rejections)."""
+        return [self.submit(job, priority=priority) for job in jobs]
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"j{self._seq:06d}"
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def record(self, job_id: str) -> JobRecord:
+        with self._cond:
+            try:
+                return self._records[job_id]
+            except KeyError:
+                raise UnknownJob(job_id) from None
+
+    def result(
+        self,
+        job_id: str,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Optional[CellResult]:
+        """The job's result, or None while it is still pending.
+
+        ``wait=True`` blocks until the record turns terminal (bounded by
+        ``timeout`` seconds, if given).
+        """
+        deadline = (
+            time.monotonic() + timeout
+            if (wait and timeout is not None)
+            else None
+        )
+        with self._cond:
+            record = self.record(job_id)
+            while wait and not record.terminal:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._cond.wait(timeout=remaining)
+            return record.result
+
+    # -- execution -------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._halt and not self._closed:
+                    self._cond.wait()
+                if self._halt or (self._closed and not self._heap):
+                    return
+                _, _, job_id = heapq.heappop(self._heap)
+                record = self._records[job_id]
+                if record.state != "queued":  # spilled while queued
+                    continue
+                record.state = "running"
+                self._queued -= 1
+                self._running += 1
+                self.counters.set_gauge("queue_depth", self._queued)
+            try:
+                result = self._execute(record.job)
+            except Exception as exc:  # harness-level failure (bad job, bug)
+                result = FailedResult(
+                    workload=record.job.workload_name,
+                    policy=str(record.job.policy),
+                    config=record.job.config.name,
+                    error_type=type(exc).__name__,
+                    error_message=str(exc),
+                )
+            with self._cond:
+                self._running -= 1
+                self._settle(record, result)
+
+    def _execute(self, job: SweepJob) -> CellResult:
+        """One cell through the PR-1 harness: timeout/retry/backoff reuse."""
+        kwargs: dict = {}
+        if self._job_runner is not None:
+            kwargs["_job_runner"] = self._job_runner
+        report = run_sweep(
+            [job],
+            executor=self.executor,
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            **kwargs,
+        )
+        return report.cells[job.key]
+
+    def _settle(self, record: JobRecord, result: CellResult) -> None:
+        """Publish a finished job to its record and every dedup follower."""
+        record.result = result
+        record.state = "done" if result.ok else "failed"
+        record.finished_at = time.time()
+        self.counters.inc("completed" if result.ok else "failed")
+        if result.ok:
+            self.meter.add(result.stats.cycles, result.stats.committed)
+            if record.key is not None and self.cache is not None:
+                self.cache.put(record.key, result, record.job)
+        if record.key is not None:
+            self._inflight.pop(record.key, None)
+        for follower_id in self._followers.pop(record.id, []):
+            follower = self._records[follower_id]
+            follower.result = result
+            follower.state = record.state
+            follower.finished_at = record.finished_at
+        self._cond.notify_all()
+
+    # -- shutdown, drain, spill --------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until no work is queued or running; True if fully drained."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._cond:
+            while self._queued or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(timeout=remaining)
+            return True
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> dict:
+        """Stop admissions and bring the pool down; returns a summary.
+
+        ``drain=True`` completes every accepted job first (bounded by
+        ``timeout``); whatever is still *queued* when the bound expires
+        — or everything queued, with ``drain=False`` — is spilled to
+        ``spill_path`` as retryable and its records marked
+        ``"retryable"``.  Running jobs are always allowed to finish
+        (worker threads are joined), so an accepted job either completes
+        or is persisted; it is never lost.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        drained = self.drain(timeout=timeout) if drain else False
+        spilled = 0
+        if not drained:
+            spilled = self._spill_queued()
+        with self._cond:
+            self._halt = True
+            self._cond.notify_all()
+        for thread in self._workers:
+            thread.join()
+        self.counters.inc("shutdowns")
+        return {"drained": drained, "spilled": spilled}
+
+    def _spill_queued(self) -> int:
+        """Persist still-queued jobs as retryable JSONL records."""
+        with self._cond:
+            victims = []
+            for entry in self._heap:
+                record = self._records[entry[2]]
+                if record.state == "queued":
+                    record.state = "retryable"
+                    victims.append(record)
+            self._heap.clear()
+            self._queued = 0
+            self.counters.set_gauge("queue_depth", 0)
+            self._cond.notify_all()
+        if not victims:
+            return 0
+        if self.spill_path is not None:
+            self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.spill_path, "a") as handle:
+                for record in victims:
+                    handle.write(
+                        json.dumps(job_to_dict(record.job, record.priority))
+                        + "\n"
+                    )
+                handle.flush()
+        self.counters.inc("spilled", len(victims))
+        return len(victims)
+
+    def recover_spilled(self, path: Optional[Union[str, Path]] = None) -> List[JobRecord]:
+        """Resubmit every retryable job persisted by a previous shutdown.
+
+        The spill file is consumed (deleted) on success; corrupt lines
+        are skipped and counted, mirroring the harness checkpoint
+        loader's torn-write tolerance.
+        """
+        path = Path(path) if path is not None else self.spill_path
+        if path is None or not path.exists():
+            return []
+        records: List[JobRecord] = []
+        with open(path, "r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    job = job_from_dict(payload)
+                    priority = int(payload.get("priority") or 0)
+                except (ValueError, KeyError, TypeError):
+                    self.counters.inc("spill_corrupt_lines")
+                    continue
+                records.append(self.submit(job, priority=priority))
+        path.unlink()
+        self.counters.inc("recovered", len(records))
+        return records
+
+    # -- introspection ---------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Scheduler counters + live gauges (for ``/metricsz``)."""
+        with self._cond:
+            snapshot = self.counters.snapshot()
+            snapshot.update(
+                queued=self._queued,
+                running=self._running,
+                records=len(self._records),
+                workers=len(self._workers),
+                max_backlog=self.max_backlog,
+                closed=self._closed,
+            )
+        snapshot["simulated_cycles"] = self.meter.cycles
+        snapshot["simulated_instructions"] = self.meter.instructions
+        snapshot["cycles_per_sec"] = round(self.meter.cycles_per_sec, 1)
+        return snapshot

@@ -1,0 +1,279 @@
+"""Stdlib-only HTTP front end: simulation-as-a-service.
+
+:class:`ReproService` wires the three serving pieces together — the
+content-addressed :class:`~repro.service.cache.ResultCache`, the
+priority :class:`~repro.service.scheduler.JobScheduler`, and a
+``ThreadingHTTPServer`` speaking a small JSON API:
+
+========  ==============  ====================================================
+method    path            behaviour
+========  ==============  ====================================================
+POST      ``/submit``     admit one job ``{"workload", "policy", ...}``;
+                          returns its record (429 backlog, 503 closed)
+POST      ``/batch``      admit ``{"jobs": [...]}`` independently; per-job
+                          records or errors, never all-or-nothing
+GET       ``/status/ID``  the job record, without the result payload
+GET       ``/result/ID``  the result once terminal (202 while pending;
+                          ``?wait=1&timeout=S`` blocks, capped server-side)
+GET       ``/healthz``    liveness + version + uptime
+GET       ``/metricsz``   scheduler / cache / server counter export
+========  ==============  ====================================================
+
+Everything is ``http.server`` + ``json`` — no third-party dependency,
+per the repo's stdlib-only constraint.  One OS thread per in-flight
+request (``ThreadingHTTPServer``) is plenty: the simulation work itself
+is bounded by the scheduler's worker pool, and request handling is I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro._version import __version__
+from repro.service.cache import DEFAULT_MAX_BYTES, ResultCache
+from repro.service.scheduler import (
+    BacklogFull,
+    JobScheduler,
+    SchedulerClosed,
+    UnknownJob,
+    job_from_dict,
+)
+from repro.telemetry.metrics import CounterSet
+
+#: Largest accepted request body; a job spec is a few hundred bytes.
+MAX_BODY_BYTES = 1 << 20
+
+#: Hard server-side cap on ``/result?wait=1`` blocking, seconds.
+MAX_RESULT_WAIT = 120.0
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ReproService` (set as the
+    ``service`` attribute of a per-service subclass)."""
+
+    service: "ReproService"
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-serve/{__version__}"
+
+    # -- plumbing --------------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence default stderr spam
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.service.counters.inc("responses")
+        if status >= 400:
+            self.service.counters.inc(f"responses_{status}")
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body; expected a JSON object")
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routes ----------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self.service.counters.inc("requests")
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if url.path == "/healthz":
+                self._reply(200, self.service.health())
+            elif url.path == "/metricsz":
+                self._reply(200, self.service.metrics())
+            elif len(parts) == 2 and parts[0] == "status":
+                record = self.service.scheduler.record(parts[1])
+                self._reply(200, record.to_dict(include_result=False))
+            elif len(parts) == 2 and parts[0] == "result":
+                self._get_result(parts[1], parse_qs(url.query))
+            else:
+                self._reply(404, {"error": f"no route for {url.path!r}"})
+        except UnknownJob as exc:
+            self._reply(404, {"error": f"unknown job id {exc.args[0]!r}"})
+        except Exception as exc:  # pragma: no cover - last-ditch 500
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _get_result(self, job_id: str, query: dict) -> None:
+        wait = query.get("wait", ["0"])[0] not in ("0", "", "false")
+        timeout = min(
+            float(query.get("timeout", [str(MAX_RESULT_WAIT)])[0]),
+            MAX_RESULT_WAIT,
+        )
+        self.service.scheduler.result(job_id, wait=wait, timeout=timeout)
+        record = self.service.scheduler.record(job_id)
+        if not record.terminal:
+            self._reply(202, record.to_dict(include_result=False))
+            return
+        self._reply(200, record.to_dict(include_result=True))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self.service.counters.inc("requests")
+        url = urlparse(self.path)
+        try:
+            payload = self._read_json()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        try:
+            if url.path == "/submit":
+                self._reply(200, self._admit(payload))
+            elif url.path == "/batch":
+                jobs = payload.get("jobs")
+                if not isinstance(jobs, list):
+                    raise ValueError("batch payload needs a 'jobs' array")
+                self._reply(200, {"jobs": [self._admit_soft(j) for j in jobs]})
+            else:
+                self._reply(404, {"error": f"no route for {url.path!r}"})
+        except (ValueError, KeyError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except BacklogFull as exc:
+            self._reply(429, {"error": str(exc)})
+        except SchedulerClosed as exc:
+            self._reply(503, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - last-ditch 500
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _admit(self, payload: dict) -> dict:
+        job = job_from_dict(payload)
+        priority = int(payload.get("priority") or 0)
+        record = self.service.scheduler.submit(job, priority=priority)
+        return record.to_dict(include_result=False)
+
+    def _admit_soft(self, payload) -> dict:
+        """Batch admission: one bad/rejected job never poisons the rest."""
+        try:
+            return self._admit(payload)
+        except (ValueError, KeyError) as exc:
+            return {"error": str(exc), "status": 400}
+        except BacklogFull as exc:
+            return {"error": str(exc), "status": 429}
+        except SchedulerClosed as exc:
+            return {"error": str(exc), "status": 503}
+
+
+class ReproService:
+    """The composed serving stack: cache + scheduler + HTTP server.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`address`) — the test-friendly default.  Use :meth:`start` for
+    a background server (tests, notebooks) or :meth:`serve_forever` for
+    a foreground one (the ``python -m repro serve`` CLI).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[Union[str, Path]] = None,
+        cache_max_bytes: int = DEFAULT_MAX_BYTES,
+        workers: int = 2,
+        max_backlog: int = 64,
+        executor: str = "inline",
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.5,
+        spill_path: Optional[Union[str, Path]] = None,
+        job_runner=None,
+    ) -> None:
+        self.counters = CounterSet()
+        self.cache = (
+            ResultCache(cache_dir, max_bytes=cache_max_bytes)
+            if cache_dir is not None
+            else None
+        )
+        if spill_path is None and cache_dir is not None:
+            spill_path = Path(cache_dir) / "pending-jobs.jsonl"
+        self.scheduler = JobScheduler(
+            cache=self.cache,
+            workers=workers,
+            max_backlog=max_backlog,
+            executor=executor,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            spill_path=spill_path,
+            job_runner=job_runner,
+        )
+        handler = type("_BoundHandler", (_ServiceHandler,), {"service": self})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self._started_at = time.time()
+        self._serve_thread: Optional[threading.Thread] = None
+        # A previous shutdown may have spilled retryable jobs; pick them
+        # up before the first request lands.
+        self.recovered = len(self.scheduler.recover_spilled())
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ReproService":
+        """Serve in a daemon thread; returns self for chaining."""
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until :meth:`stop` (or Ctrl-C)."""
+        self.httpd.serve_forever()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> dict:
+        """Stop the HTTP listener, then shut the scheduler down.
+
+        The listener closes first so no request can be accepted after
+        the scheduler stops admissions; then the scheduler completes or
+        spills the backlog (see :meth:`JobScheduler.shutdown`).
+        """
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        return self.scheduler.shutdown(drain=drain, timeout=timeout)
+
+    # -- payload builders ------------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "recovered_jobs": self.recovered,
+        }
+
+    def metrics(self) -> dict:
+        return {
+            "version": __version__,
+            "server": self.counters.snapshot(),
+            "scheduler": self.scheduler.metrics(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }

@@ -34,6 +34,8 @@ import json
 import multiprocessing
 import os
 import re
+import signal
+import threading
 import time
 import traceback
 import warnings
@@ -56,6 +58,7 @@ from repro.sim.faults import FaultSpec
 from repro.sim.results import (
     FailedResult,
     SimResult,
+    result_from_dict,
     stats_from_dict,
     stats_to_dict,
 )
@@ -294,74 +297,23 @@ def _failure_from_info(job: SweepJob, info: dict, attempts: int) -> FailedResult
 
 
 def _result_record(job: SweepJob, result: CellResult) -> dict:
-    base = {
-        "key": job.key,
-        "workload": job.workload_name,
-        "policy": job.policy,
-        "config": job.config.name,
-        "num_instructions": job.num_instructions,
-        "seed": job.seed,
-    }
-    if isinstance(result, SimResult):
-        base.update(
-            status="ok",
-            stats=stats_to_dict(result.stats),
-            mode_fractions=result.mode_fractions,
-            mode_switches=result.mode_switches,
-            # Provenance: `seed` above is what the job *requested*;
-            # `effective_seed` is what the generator actually used.
-            effective_seed=result.seed,
-            config_hash=result.config_hash,
-            version=result.version,
-            commit_digest=result.commit_digest,
-        )
-    else:
-        base.update(
-            status="failed",
-            error_type=result.error_type,
-            error_message=result.error_message,
-            traceback=result.traceback,
-            attempts=result.attempts,
-            cycles=result.cycles,
-            stats=(
-                stats_to_dict(result.partial_stats)
-                if result.partial_stats is not None
-                else None
-            ),
-            snapshot_path=result.snapshot_path,
-        )
-    return base
+    """One checkpoint line: the result's own ``to_dict`` record plus the
+    sweep-cell identity (join ``key``, and the *requested* ``seed`` —
+    successful records carry the resolved one as ``effective_seed``)."""
+    record = result.to_dict()
+    record.update(
+        key=job.key,
+        workload=job.workload_name,
+        policy=job.policy,
+        config=job.config.name,
+        num_instructions=job.num_instructions,
+        seed=job.seed,
+    )
+    return record
 
 
 def _result_from_record(record: dict) -> CellResult:
-    if record["status"] == "ok":
-        return SimResult(
-            workload=record["workload"],
-            policy=record["policy"],
-            config=record["config"],
-            num_instructions=record["num_instructions"],
-            stats=stats_from_dict(record["stats"]),
-            mode_fractions=record.get("mode_fractions") or {},
-            mode_switches=record.get("mode_switches", 0),
-            seed=record.get("effective_seed"),
-            config_hash=record.get("config_hash", ""),
-            version=record.get("version", ""),
-            commit_digest=record.get("commit_digest", ""),
-        )
-    return FailedResult(
-        workload=record["workload"],
-        policy=record["policy"],
-        config=record["config"],
-        error_type=record["error_type"],
-        error_message=record["error_message"],
-        traceback=record.get("traceback") or "",
-        attempts=record.get("attempts", 1),
-        cycles=record.get("cycles", 0),
-        partial_stats=(
-            stats_from_dict(record["stats"]) if record.get("stats") else None
-        ),
-        snapshot_path=record.get("snapshot_path"),
-    )
+    return result_from_dict(record)
 
 
 def load_checkpoint(path: Union[str, Path]) -> Tuple[Dict[str, dict], int]:
@@ -408,6 +360,10 @@ class SweepReport:
     retried: int = 0
     #: Unparsable checkpoint lines skipped during resume.
     corrupt_checkpoint_lines: int = 0
+    #: The sweep was stopped early by SIGINT/SIGTERM: ``cells`` holds
+    #: only the cells that finished (all checkpointed); the rest can be
+    #: re-run with ``resume=True``.
+    interrupted: bool = False
 
     @property
     def successes(self) -> List[SimResult]:
@@ -428,6 +384,32 @@ class SweepReport:
             nested.setdefault(result.workload, {})[result.policy] = result
         return nested
 
+    def to_dict(self) -> dict:
+        """JSON-safe record of the whole report (cells via their own
+        ``to_dict``) — the shape the service API returns for sweeps."""
+        return {
+            "cells": {key: r.to_dict() for key, r in self.cells.items()},
+            "restored": self.restored,
+            "executed": self.executed,
+            "retried": self.retried,
+            "corrupt_checkpoint_lines": self.corrupt_checkpoint_lines,
+            "interrupted": self.interrupted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepReport":
+        """Inverse of :meth:`to_dict`."""
+        report = cls(
+            restored=data.get("restored", 0),
+            executed=data.get("executed", 0),
+            retried=data.get("retried", 0),
+            corrupt_checkpoint_lines=data.get("corrupt_checkpoint_lines", 0),
+            interrupted=data.get("interrupted", False),
+        )
+        for key, record in (data.get("cells") or {}).items():
+            report.cells[key] = result_from_dict(record)
+        return report
+
     def summary(self) -> str:
         """Human-readable status table plus tracebacks of the failures."""
         lines = [
@@ -438,6 +420,11 @@ class SweepReport:
             + (f", {self.retried} retried" if self.retried else "")
             + ")"
         ]
+        if self.interrupted:
+            lines.append(
+                "warning: sweep interrupted by signal; unfinished cells "
+                "omitted (re-run with resume=True to complete them)"
+            )
         if self.corrupt_checkpoint_lines:
             lines.append(
                 f"warning: skipped {self.corrupt_checkpoint_lines} corrupt "
@@ -531,6 +518,12 @@ def run_sweep(
     each cell completes.  ``on_retry(job, next_attempt, error_type)`` is
     called before each transient-failure re-run (the report counts them
     in :attr:`SweepReport.retried`).
+
+    SIGINT/SIGTERM (when running in the main thread) stop the sweep
+    gracefully: in-flight workers are terminated, the checkpoint file is
+    left flushed and closed, and a *partial* report comes back with
+    :attr:`SweepReport.interrupted` set — re-run with ``resume=True`` to
+    finish the remaining cells.
     """
     jobs = list(jobs)
     _validate_jobs(jobs)
@@ -617,38 +610,68 @@ def run_sweep(
             raise SweepFailed(result)
 
     todo = [job for job in jobs if job.key not in done]
+
+    # Graceful SIGINT/SIGTERM: convert both to the KeyboardInterrupt
+    # unwind path, then swallow it below — the checkpoint is flushed per
+    # cell and closed in the finally, so a Ctrl-C / scheduler kill yields
+    # a partial SweepReport (``interrupted=True``) instead of dying
+    # mid-write.  Handlers can only live in the main thread; elsewhere
+    # (e.g. service scheduler workers) the sweep runs unhooked.
+    previous_handlers: Dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+
+        def _signal_to_interrupt(signum, frame):
+            raise KeyboardInterrupt(f"signal {signum}")
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous_handlers[sig] = signal.signal(sig, _signal_to_interrupt)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+
     try:
-        if executor == "inline":
-            _run_inline(
-                todo,
-                finish,
-                retries,
-                backoff,
-                transient,
-                sleep,
-                _job_runner,
-                note_retry,
-            )
-        else:
-            _run_processes(
-                todo,
-                finish,
-                max_workers=max_workers,
-                timeout=timeout,
-                retries=retries,
-                backoff=backoff,
-                transient=transient,
-                snapshot_dir=snapshot_dir,
-                telemetry_dir=tel_dir,
-                note_retry=note_retry,
-            )
+        try:
+            if executor == "inline":
+                _run_inline(
+                    todo,
+                    finish,
+                    retries,
+                    backoff,
+                    transient,
+                    sleep,
+                    _job_runner,
+                    note_retry,
+                )
+            else:
+                _run_processes(
+                    todo,
+                    finish,
+                    max_workers=max_workers,
+                    timeout=timeout,
+                    retries=retries,
+                    backoff=backoff,
+                    transient=transient,
+                    snapshot_dir=snapshot_dir,
+                    telemetry_dir=tel_dir,
+                    note_retry=note_retry,
+                )
+        except KeyboardInterrupt:
+            report.interrupted = True
     finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
         if checkpoint_handle is not None:
             checkpoint_handle.close()
 
-    # Report cells in job order, executed or restored alike.
+    # Report cells in job order, executed or restored alike.  An
+    # interrupted sweep reports only its finished cells.
     for job in jobs:
-        report.cells[job.key] = done[job.key]
+        if job.key in done:
+            report.cells[job.key] = done[job.key]
+        elif not report.interrupted:
+            raise AssertionError(  # pragma: no cover - harness bug guard
+                f"sweep finished without a result for cell {job.key!r}"
+            )
     return report
 
 

@@ -81,6 +81,50 @@ class SimResult:
             line += f"  circ-pc={self.mode_fractions.get('circ-pc', 0.0):4.0%}"
         return line
 
+    def to_dict(self) -> dict:
+        """JSON-safe record of this result (``telemetry`` excluded).
+
+        One serialization path shared by the harness checkpoint, the
+        service result cache, and HTTP API responses.  The effective
+        seed is emitted as ``effective_seed`` (matching the checkpoint
+        provenance field) so harness records can carry the *requested*
+        seed under ``seed`` alongside it without a collision.
+        """
+        return {
+            "status": "ok",
+            "workload": self.workload,
+            "policy": self.policy,
+            "config": self.config,
+            "num_instructions": self.num_instructions,
+            "stats": stats_to_dict(self.stats),
+            "mode_fractions": dict(self.mode_fractions),
+            "mode_switches": self.mode_switches,
+            "effective_seed": self.seed,
+            "config_hash": self.config_hash,
+            "version": self.version,
+            "commit_digest": self.commit_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Inverse of :meth:`to_dict`; tolerant of missing/extra keys."""
+        seed = data.get("effective_seed")
+        if seed is None:
+            seed = data.get("seed")
+        return cls(
+            workload=data["workload"],
+            policy=data["policy"],
+            config=data["config"],
+            num_instructions=data.get("num_instructions", 0),
+            stats=stats_from_dict(data.get("stats") or {}),
+            mode_fractions=data.get("mode_fractions") or {},
+            mode_switches=data.get("mode_switches", 0),
+            seed=seed,
+            config_hash=data.get("config_hash", ""),
+            version=data.get("version", ""),
+            commit_digest=data.get("commit_digest", ""),
+        )
+
 
 @dataclass
 class FailedResult:
@@ -126,6 +170,58 @@ class FailedResult:
         if self.snapshot_path:
             line += f"  (replay: python -m repro replay {self.snapshot_path})"
         return line
+
+    def to_dict(self) -> dict:
+        """JSON-safe record of this failure (mirrors
+        :meth:`SimResult.to_dict`; partial stats land under ``stats``)."""
+        return {
+            "status": "failed",
+            "workload": self.workload,
+            "policy": self.policy,
+            "config": self.config,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "cycles": self.cycles,
+            "stats": (
+                stats_to_dict(self.partial_stats)
+                if self.partial_stats is not None
+                else None
+            ),
+            "snapshot_path": self.snapshot_path,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailedResult":
+        """Inverse of :meth:`to_dict`; tolerant of missing/extra keys."""
+        return cls(
+            workload=data["workload"],
+            policy=data["policy"],
+            config=data["config"],
+            error_type=data["error_type"],
+            error_message=data["error_message"],
+            traceback=data.get("traceback") or "",
+            attempts=data.get("attempts", 1),
+            cycles=data.get("cycles", 0),
+            partial_stats=(
+                stats_from_dict(data["stats"]) if data.get("stats") else None
+            ),
+            snapshot_path=data.get("snapshot_path"),
+        )
+
+
+def result_from_dict(data: dict):
+    """Rebuild a :class:`SimResult` or :class:`FailedResult` from its
+    :meth:`to_dict` record, dispatching on the ``status`` field."""
+    status = data.get("status")
+    if status == "ok":
+        return SimResult.from_dict(data)
+    if status == "failed":
+        return FailedResult.from_dict(data)
+    raise ValueError(
+        f"result record has unknown status {status!r}; expected 'ok' or 'failed'"
+    )
 
 
 def speedup(result: SimResult, baseline: SimResult) -> float:

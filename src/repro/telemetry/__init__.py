@@ -34,6 +34,7 @@ from repro.telemetry.events import (
     EV_WARMUP_RESET,
     TelemetryEvent,
 )
+from repro.telemetry.metrics import CounterSet
 from repro.telemetry.export import (
     chrome_trace,
     export_run,
@@ -67,6 +68,7 @@ __all__ = [
     "EV_NEAR_STALL",
     "EV_SNAPSHOT",
     "EV_WARMUP_RESET",
+    "CounterSet",
     "IntervalSample",
     "RateMeter",
     "StageProfiler",

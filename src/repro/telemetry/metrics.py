@@ -1,0 +1,56 @@
+"""Thread-safe named counters for long-lived components.
+
+The interval sampler (:mod:`repro.telemetry.probes`) answers "what did
+*one simulation* do over time"; :class:`CounterSet` answers "what has
+*this process* done since it started" — cache hits, scheduler
+admissions, HTTP requests.  It is the common currency the service
+subsystem (:mod:`repro.service`) exports through ``/metricsz``.
+
+Counters are monotonic integers; gauges are set-to-current values (queue
+depth, bytes on disk).  Both are safe to bump from any thread, and
+:meth:`CounterSet.snapshot` returns a plain JSON-safe dict.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class CounterSet:
+    """A named bag of monotonic counters and settable gauges."""
+
+    def __init__(self, **initial: Number) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Number] = dict(initial)
+        self._gauges: Dict[str, Number] = {}
+
+    def inc(self, name: str, amount: Number = 1) -> Number:
+        """Add ``amount`` to counter ``name`` (created at 0); returns it."""
+        if amount < 0:
+            raise ValueError(f"counter {name!r}: increments must be >= 0")
+        with self._lock:
+            value = self._counters.get(name, 0) + amount
+            self._counters[name] = value
+            return value
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to its current ``value`` (may move down)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def get(self, name: str) -> Number:
+        """Current value of counter or gauge ``name`` (0 if never touched)."""
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name]
+            return self._gauges.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """JSON-safe copy of every counter and gauge at this instant."""
+        with self._lock:
+            merged = dict(self._counters)
+            merged.update(self._gauges)
+            return merged

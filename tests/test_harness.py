@@ -439,3 +439,86 @@ class TestRunnersOnTheHarness:
         assert report.all_ok
         nested = report.by_workload()
         assert nested["exchange2"]["age"].ipc > 0
+
+
+class TestGracefulInterrupt:
+    """SIGINT/SIGTERM yield a flushed partial report, not a mid-write death."""
+
+    def grid(self):
+        return make_grid(["exchange2", "leela"], ["age"], num_instructions=N)
+
+    def interrupt_on_second(self):
+        calls = []
+
+        def runner(job, _trace_cache=None):
+            calls.append(job.key)
+            if len(calls) == 2:
+                raise KeyboardInterrupt("simulated Ctrl-C")
+            return _run_job(job, _trace_cache)
+
+        return runner
+
+    def test_partial_report_with_flushed_checkpoint(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        jobs = self.grid()
+        report = run_sweep(jobs, executor="inline", checkpoint=path,
+                           _job_runner=self.interrupt_on_second())
+        assert report.interrupted
+        assert list(report.cells) == [jobs[0].key]   # only the finished cell
+        assert report.cells[jobs[0].key].ok
+        assert "interrupted" in report.summary()
+        # The checkpoint was flushed and is cleanly parseable.
+        records, corrupt = load_checkpoint(path)
+        assert corrupt == 0
+        assert set(records) == {jobs[0].key}
+
+    def test_interrupted_sweep_resumes_to_completion(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        jobs = self.grid()
+        run_sweep(jobs, executor="inline", checkpoint=path,
+                  _job_runner=self.interrupt_on_second())
+        report = run_sweep(jobs, executor="inline", checkpoint=path,
+                           resume=True)
+        assert not report.interrupted
+        assert report.restored == 1 and report.executed == 1
+        assert report.all_ok and len(report.cells) == 2
+
+    def test_report_round_trips_interrupted_flag(self):
+        report = run_sweep(self.grid(), executor="inline",
+                           _job_runner=self.interrupt_on_second())
+        from repro.sim.harness import SweepReport
+
+        rebuilt = SweepReport.from_dict(report.to_dict())
+        assert rebuilt.interrupted
+
+    def test_real_sigterm_is_handled_gracefully(self, tmp_path):
+        import os
+        import signal
+
+        path = tmp_path / "sweep.jsonl"
+        calls = []
+
+        def terminating_runner(job, _trace_cache=None):
+            result = _run_job(job, _trace_cache)
+            calls.append(job.key)
+            if len(calls) == 1:
+                os.kill(os.getpid(), signal.SIGTERM)
+            return result
+
+        report = run_sweep(self.grid(), executor="inline", checkpoint=path,
+                           _job_runner=terminating_runner)
+        assert report.interrupted
+        assert len(report.cells) < 2
+        records, corrupt = load_checkpoint(path)
+        assert corrupt == 0
+        # The handler was restored on the way out.
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+    def test_handlers_restored_after_clean_sweep(self):
+        import signal
+
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        run_sweep(self.grid()[:1], executor="inline")
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
