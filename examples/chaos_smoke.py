@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Chaos smoke test for the fleet-grade service (CI chaos-smoke job).
+
+Two phases, both against a real ``python -m repro serve`` subprocess:
+
+1. **Worker kill** — submit a batch, SIGKILL one worker process
+   mid-batch (pids come from ``/metricsz``), and assert that every job
+   still completes and ``/metricsz`` reports >= 1 worker restart.
+2. **Server kill** — submit a fresh batch, SIGKILL the *server* before
+   it can finish, restart it on the same cache/WAL directory, and
+   assert the write-ahead journal recovers the accepted jobs: after the
+   restarted server drains, resubmitting the identical specs is served
+   entirely from the cache (completed) or reported quarantined —
+   nothing silently lost.
+
+Run it standalone::
+
+    python examples/chaos_smoke.py
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.service import ServiceClient
+
+WORKERS = 2
+
+#: Big enough that a batch is still in flight when chaos strikes.
+PHASE1_BATCH = [
+    {"workload": "exchange2", "policy": policy, "num_instructions": 120_000}
+    for policy in ("age", "swque", "circ", "shift")
+]
+PHASE2_BATCH = [
+    {"workload": "leela", "policy": policy, "num_instructions": 120_000}
+    for policy in ("age", "swque", "circ", "shift")
+]
+
+
+def start_server(cache_dir: str) -> "tuple[subprocess.Popen, ServiceClient]":
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--cache-dir", cache_dir,
+            "--workers", str(WORKERS),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    deadline = time.monotonic() + 30.0
+    url = None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            time.sleep(0.05)
+            continue
+        print(f"  [server] {line.rstrip()}")
+        match = re.search(r"listening on (http://\S+)", line)
+        if match:
+            url = match.group(1)
+            break
+    if url is None:
+        proc.kill()
+        raise SystemExit("server never reported its address")
+    client = ServiceClient(url)
+    client.wait_healthy(timeout=30)
+    return proc, client
+
+
+def submit(client: ServiceClient, batch) -> list:
+    ids = []
+    for record in client.batch(batch):
+        if "error" in record:
+            raise SystemExit(f"submission rejected: {record['error']}")
+        ids.append(record["id"])
+    return ids
+
+
+def phase1_worker_kill(client: ServiceClient) -> None:
+    print("phase 1: SIGKILL one worker mid-batch")
+    ids = submit(client, PHASE1_BATCH)
+    pids = client.metricsz()["scheduler"]["worker_pids"]
+    victim = pids[0]
+    print(f"  killing worker pid={victim} (pool: {pids})")
+    os.kill(victim, signal.SIGKILL)
+    for job_id in ids:
+        result = client.wait_result(job_id, timeout=600)
+        state = client.status(job_id)["state"]
+        if state != "done" or not result.ok:
+            raise SystemExit(
+                f"FAIL: job {job_id} ended {state!r} after the worker kill"
+            )
+    pool = client.metricsz()["scheduler"]["worker_pool"]
+    print(f"  all {len(ids)} jobs completed; "
+          f"restarts={pool['worker_restarts']} alive={pool['alive']}")
+    if pool["worker_restarts"] < 1:
+        raise SystemExit("FAIL: /metricsz shows no worker restart")
+    if pool["alive"] != WORKERS:
+        raise SystemExit(f"FAIL: pool shrank to {pool['alive']}/{WORKERS}")
+
+
+def phase2_server_kill(proc: subprocess.Popen, client: ServiceClient,
+                       cache_dir: str) -> "tuple[subprocess.Popen, ServiceClient]":
+    print("phase 2: SIGKILL the server mid-batch, recover from the WAL")
+    accepted = submit(client, PHASE2_BATCH)
+    print(f"  accepted {len(accepted)} jobs; killing server pid={proc.pid}")
+    proc.kill()  # SIGKILL: no drain, no spill — only the WAL survives
+    proc.wait(timeout=30)
+    proc, client = start_server(cache_dir)
+    health = client.healthz()
+    print(f"  restarted; recovered_jobs={health['recovered_jobs']}")
+    # Wait for the recovered backlog to drain.
+    deadline = time.monotonic() + 600.0
+    while time.monotonic() < deadline:
+        scheduler = client.metricsz()["scheduler"]
+        if scheduler["queued"] == 0 and scheduler["running"] == 0:
+            break
+        time.sleep(0.5)
+    else:
+        raise SystemExit("FAIL: recovered backlog never drained")
+    # Every accepted spec must now be either cached (completed) or
+    # quarantined — resubmitting is content-addressed, so a completed
+    # job answers instantly from the cache.
+    unfinished = []
+    for spec, record in zip(PHASE2_BATCH, client.batch(PHASE2_BATCH)):
+        if "error" in record:
+            raise SystemExit(f"FAIL: resubmission rejected: {record['error']}")
+        if record["cached"]:
+            continue
+        client.wait_result(record["id"], timeout=600)
+        final = client.status(record["id"])
+        if final["state"] != "quarantined":
+            unfinished.append((spec, final["state"]))
+    if unfinished:
+        raise SystemExit(
+            f"FAIL: {len(unfinished)} accepted job(s) were lost across the "
+            f"crash (not cached, not quarantined): {unfinished}"
+        )
+    wal_pending = client.healthz().get("wal_pending")
+    print(f"  every accepted job accounted for; wal_pending={wal_pending}")
+    return proc, client
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    proc, client = start_server(cache_dir)
+    try:
+        phase1_worker_kill(client)
+        proc, client = phase2_server_kill(proc, client, cache_dir)
+        print("OK: fleet node survived worker SIGKILL and server SIGKILL "
+              "with no job lost")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

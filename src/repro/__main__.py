@@ -178,10 +178,31 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="cache size bound in MiB; least-recently-used "
                             "entries are evicted beyond it (default 64)")
     serve.add_argument("--workers", type=int, default=2,
-                       help="scheduler worker threads (default 2)")
+                       help="scheduler workers (default 2)")
+    serve.add_argument("--pool", choices=["process", "thread"],
+                       default="process",
+                       help="worker pool: 'process' runs supervised, "
+                            "heartbeat-monitored worker processes that "
+                            "restart on crash/hang (default); 'thread' "
+                            "keeps the in-process PR-4 workers")
     serve.add_argument("--backlog", type=int, default=64,
                        help="max queued jobs before submissions are "
                             "rejected with 429 (default 64)")
+    serve.add_argument("--max-job-crashes", type=int, default=2,
+                       metavar="K",
+                       help="worker losses one job may cause before it is "
+                            "quarantined as poison (default 2)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="heartbeat staleness before a worker is "
+                            "declared hung and killed (default 10)")
+    serve.add_argument("--quota-rate", type=float, default=None,
+                       metavar="PER_SEC",
+                       help="per-tenant admission quota in jobs/second "
+                            "(token bucket; default: unlimited)")
+    serve.add_argument("--quota-burst", type=float, default=10.0,
+                       help="per-tenant token-bucket burst size "
+                            "(default 10; used with --quota-rate)")
     serve.add_argument("--executor", choices=["inline", "process"],
                        default="process",
                        help="per-job execution: 'process' isolates each "
@@ -404,15 +425,22 @@ def main(argv=None) -> int:
             executor=args.executor,
             timeout=args.timeout,
             retries=args.retries,
+            pool=args.pool,
+            max_job_crashes=args.max_job_crashes,
+            heartbeat_timeout=args.heartbeat_timeout,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
         )
         host, port = service.address
         print(f"repro serve: listening on http://{host}:{port}", flush=True)
         if service.recovered:
-            print(f"  recovered {service.recovered} spilled job(s) from a "
-                  f"previous shutdown", flush=True)
-        print(f"  cache: {cache_dir or 'disabled'}  workers: {args.workers}  "
-              f"backlog: {args.backlog}  executor: {args.executor}",
-              flush=True)
+            print(f"  recovered {service.recovered} unfinished job(s) from "
+                  f"the journal/spill of a previous run", flush=True)
+        quota = (f"{args.quota_rate:g}/s" if args.quota_rate is not None
+                 else "unlimited")
+        print(f"  cache: {cache_dir or 'disabled'}  pool: {args.pool}  "
+              f"workers: {args.workers}  backlog: {args.backlog}  "
+              f"quota: {quota}", flush=True)
         import signal as _signal
 
         def _term(signum, frame):

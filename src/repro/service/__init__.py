@@ -1,46 +1,65 @@
-"""Simulation-as-a-service: cache, scheduler, HTTP server, client.
+"""Simulation-as-a-service: cache, scheduler, supervisor, WAL, server.
 
-The serving layer over the reproduction (DESIGN.md §10).  Three pieces,
-composable on their own or together through
+The serving layer over the reproduction (DESIGN.md §10-§11).  The
+pieces compose on their own or together through
 :class:`~repro.service.server.ReproService`:
 
 * :mod:`repro.service.cache` — a content-addressed, on-disk result
-  store: repeat experiments become file reads, never re-simulations.
-* :mod:`repro.service.scheduler` — a multi-worker priority scheduler
-  with single-flight dedup, bounded-backlog backpressure, and graceful
-  drain, executing each job through the fault-tolerant sweep harness.
+  store (repeat experiments become file reads) plus the
+  :class:`~repro.service.cache.CircuitBreaker` that lets the scheduler
+  degrade to compute-and-return when the store fails.
+* :mod:`repro.service.scheduler` — a priority scheduler with
+  single-flight dedup, per-tenant token-bucket admission,
+  priority-aware load shedding, bounded-backlog backpressure, and
+  graceful drain.
+* :mod:`repro.service.supervisor` — the supervised multi-process worker
+  pool: heartbeat-monitored forked workers, restarted on crash/hang,
+  with poison-job quarantine driven by the scheduler.
+* :mod:`repro.service.journal` — the always-on write-ahead journal that
+  makes every *accepted* job durable across hard crashes.
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
-  stdlib-only HTTP API (``python -m repro serve``) and its thin client.
+  stdlib-only HTTP API (``python -m repro serve``) and a client that
+  honors ``Retry-After`` with capped jittered backoff.
 """
 
 from repro.service.cache import (
     CACHE_SCHEMA_VERSION,
+    CircuitBreaker,
     ResultCache,
     UncacheableJob,
     cache_key,
 )
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.journal import JobJournal
 from repro.service.scheduler import (
     BacklogFull,
     JobRecord,
     JobScheduler,
+    RateLimited,
     SchedulerClosed,
+    TokenBucket,
     UnknownJob,
     job_from_dict,
     job_to_dict,
 )
 from repro.service.server import ReproService
+from repro.service.supervisor import ProcessWorkerPool
 
 __all__ = [
     "BacklogFull",
     "CACHE_SCHEMA_VERSION",
+    "CircuitBreaker",
+    "JobJournal",
     "JobRecord",
     "JobScheduler",
+    "ProcessWorkerPool",
+    "RateLimited",
     "ReproService",
     "ResultCache",
     "SchedulerClosed",
     "ServiceClient",
     "ServiceError",
+    "TokenBucket",
     "UncacheableJob",
     "UnknownJob",
     "cache_key",

@@ -30,9 +30,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro._version import __version__
 from repro.config import config_digest
@@ -139,6 +140,7 @@ class ResultCache:
             corrupt_entries=0,
             version_invalidations=0,
             put_skipped=0,
+            evict_race=0,
         )
         # Logical LRU clock: strictly increasing mtimes make eviction
         # order deterministic.  Resumes past any existing entry so a
@@ -154,15 +156,33 @@ class ResultCache:
         return sorted(self.root.glob(f"*{ENTRY_SUFFIX}"))
 
     def _max_existing_mtime(self) -> float:
-        mtimes = [p.stat().st_mtime for p in self._entries()]
+        mtimes = []
+        for stamp, _size, _path in self._stat_entries():
+            mtimes.append(stamp)
         return max(mtimes, default=time.time())
+
+    def _stat_entries(self) -> List[Tuple[float, int, Path]]:
+        """``(mtime, size, path)`` for every live entry.  Entries that
+        vanish between the glob and the ``stat`` (a concurrent reader's
+        eviction, or another server process sharing the directory) are
+        skipped and counted under ``evict_race`` — the LRU race is a
+        bookkeeping event, never an exception."""
+        stats = []
+        for path in self._entries():
+            try:
+                st = path.stat()
+            except OSError:
+                self.counters.inc("evict_race")
+                continue
+            stats.append((st.st_mtime, st.st_size, path))
+        return stats
 
     def _touch(self, path: Path) -> None:
         self._clock += 1.0
         try:
             os.utime(path, (self._clock, self._clock))
-        except OSError:  # pragma: no cover - entry evicted underneath us
-            pass
+        except OSError:  # entry evicted underneath us mid-read
+            self.counters.inc("evict_race")
 
     # -- the store -------------------------------------------------------------------
 
@@ -258,29 +278,38 @@ class ResultCache:
     def _evict_path(self, path: Path, reason: str) -> None:
         try:
             path.unlink()
-        except OSError:  # pragma: no cover - already gone
+        except OSError:  # already gone: concurrent eviction won the race
+            self.counters.inc("evict_race")
             return
         if reason == "lru":
             self.counters.inc("evictions")
 
     def _enforce_bounds(self) -> None:
-        """Evict least-recently-used entries beyond the size bounds."""
-        entries = [(p.stat().st_mtime, p) for p in self._entries()]
+        """Evict least-recently-used entries beyond the size bounds.
+
+        Sizes are captured in one stat pass up front — re-statting a
+        victim after a concurrent process already evicted it was the
+        PR-4 crash (``FileNotFoundError`` out of ``put``)."""
+        entries = self._stat_entries()
         entries.sort()  # oldest recency first
-        total = sum(p.stat().st_size for _, p in entries)
+        total = sum(size for _, size, _ in entries)
         while entries and (
             total > self.max_bytes
             or (self.max_entries is not None and len(entries) > self.max_entries)
         ):
-            _, victim = entries.pop(0)
-            total -= victim.stat().st_size
+            _, size, victim = entries.pop(0)
+            total -= size
             self._evict_path(victim, reason="lru")
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
         for path in self._entries():
-            path.unlink()
+            try:
+                path.unlink()
+            except OSError:
+                self.counters.inc("evict_race")
+                continue
             removed += 1
         return removed
 
@@ -288,11 +317,102 @@ class ResultCache:
 
     def stats(self) -> Dict[str, Union[int, float]]:
         """Counters plus current on-disk occupancy (for ``/metricsz``)."""
-        entries = self._entries()
+        entries = self._stat_entries()
         snapshot = self.counters.snapshot()
         snapshot.update(
             entries=len(entries),
-            bytes=sum(p.stat().st_size for p in entries),
+            bytes=sum(size for _, size, _ in entries),
             max_bytes=self.max_bytes,
         )
         return snapshot
+
+
+#: Circuit-breaker states, in escalation order.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Classic three-state circuit breaker for a flaky backend.
+
+    Wraps nothing itself — the caller brackets each backend operation
+    with :meth:`allow` / :meth:`success` / :meth:`failure`:
+
+    * **closed** (healthy): every call allowed; ``failure_threshold``
+      consecutive failures trip it open.
+    * **open** (failing): every call refused — the scheduler degrades to
+      compute-and-return, skipping the cache — until ``cooldown``
+      seconds pass.
+    * **half_open** (probing): after the cooldown, exactly one call is
+      let through.  Its success closes the breaker; its failure re-opens
+      it for another cooldown.
+
+    Thread-safe; all transitions happen under one lock.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._trips = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May the caller hit the backend right now?"""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._state = "half_open"
+                    self._probing = True
+                    return True
+                return False
+            # half_open: one outstanding probe at a time.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._state == "half_open" or (
+                self._state == "closed"
+                and self._failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._trips += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "trips": self._trips,
+            }

@@ -20,36 +20,69 @@ Quickstart::
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.sim.results import result_from_dict
+
+#: Statuses worth retrying: overload (429) and shutdown/unavailable (503).
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ServiceError(RuntimeError):
     """A non-2xx API response: carries ``status`` and the error payload."""
 
-    def __init__(self, status: int, payload: dict) -> None:
+    def __init__(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
         message = (
             payload.get("error") if isinstance(payload, dict) else None
         ) or f"HTTP {status}"
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.payload = payload
+        #: Server's ``Retry-After`` hint in seconds, when it sent one.
+        self.retry_after = retry_after
 
 
 class ServiceClient:
-    """One server endpoint, addressed by base URL."""
+    """One server endpoint, addressed by base URL.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    Overload responses are handled, not surfaced: a 429/503 is retried
+    up to ``max_retries`` times, sleeping the server's ``Retry-After``
+    hint when present and a capped, jittered exponential backoff
+    (``backoff * 2^attempt``, capped at ``backoff_cap``, x [0.5, 1.0)
+    jitter) otherwise.  ``max_retries=0`` restores the PR-4 fail-fast
+    behaviour.  Other errors (400, 404, 500) never retry.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        max_retries: int = 3,
+        backoff: float = 0.25,
+        backoff_cap: float = 10.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
 
     # -- transport -------------------------------------------------------------------
 
-    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+    def _request_once(self, path: str, payload: Optional[dict] = None) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -66,7 +99,34 @@ class ServiceClient:
                 body = json.loads(exc.read().decode("utf-8"))
             except (ValueError, OSError):
                 body = {"error": str(exc)}
-            raise ServiceError(exc.code, body) from None
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            raise ServiceError(exc.code, body, retry_after=retry_after) from None
+
+    def _retry_delay(self, attempt: int, exc: ServiceError) -> float:
+        if exc.retry_after is not None:
+            return min(exc.retry_after, self.backoff_cap)
+        delay = min(self.backoff * (2 ** attempt), self.backoff_cap)
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, payload)
+            except ServiceError as exc:
+                if (
+                    exc.status not in RETRYABLE_STATUSES
+                    or attempt >= self.max_retries
+                ):
+                    raise
+                self._sleep(self._retry_delay(attempt, exc))
+                attempt += 1
 
     # -- endpoints -------------------------------------------------------------------
 
@@ -79,7 +139,8 @@ class ServiceClient:
     def submit(self, **job) -> dict:
         """Admit one job; keyword arguments are the job-spec fields
         (``workload``, ``policy``, ``config``, ``num_instructions``,
-        ``seed``, ``max_cycles``, ``warmup_instructions``, ``priority``)."""
+        ``seed``, ``max_cycles``, ``warmup_instructions``, ``priority``,
+        ``tenant``)."""
         return self._request("/submit", payload=job)
 
     def batch(self, jobs: List[dict]) -> List[dict]:
@@ -120,7 +181,7 @@ class ServiceClient:
             record = self.result(job_id, wait=True, timeout=remaining)
             if record.get("result") is not None:
                 return result_from_dict(record["result"])
-            if record.get("state") in ("done", "failed"):
+            if record.get("state") in ("done", "failed", "quarantined"):
                 raise ServiceError(500, {"error": "terminal record lost its result"})
             time.sleep(poll)
 

@@ -1,0 +1,223 @@
+"""Durable write-ahead journal for accepted-but-unfinished jobs.
+
+The PR-4 scheduler persisted its backlog only at *graceful* drain time:
+a JSONL spill written during ``shutdown()``.  A hard crash — OOM kill,
+power loss, ``kill -9`` — lost every queued and in-flight job.  This
+module promotes the spill into an always-on write-ahead journal, the
+same discipline databases use for their redo logs:
+
+* **append on accept** — before a job is queued, an ``accept`` record
+  (job spec + priority + tenant, keyed by job id) is appended and
+  flushed, so the accepted backlog is on disk at all times;
+* **mark on completion** — a terminal job appends a ``done`` (or
+  ``quarantine``) tombstone; the accept record it supersedes stays put
+  until compaction;
+* **compact periodically** — once enough tombstones accumulate the
+  journal is atomically rewritten with only the still-pending accepts
+  (temp file + ``os.replace``, the PR-2 snapshot idiom), so it stays
+  proportional to the live backlog, not to service lifetime.
+
+Recovery (:meth:`JobJournal.recover`) replays the log: every accept
+without a matching tombstone is an accepted-but-unfinished job the
+restarted scheduler must re-admit.  A torn trailing record — the
+process died mid-``write`` — is skipped and counted, never fatal,
+reusing the PR-1/PR-2 torn-line tolerance; the post-recovery compaction
+drops it from disk.  Records are self-describing JSON objects, so a
+journal written by one version remains readable by the next.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.metrics import CounterSet
+from repro.verify.snapshot import write_bytes_atomic
+
+#: Journal record operations.  ``accept`` carries the job payload;
+#: ``done`` and ``quarantine`` are tombstones referencing an accept id.
+JOURNAL_OPS = ("accept", "done", "quarantine")
+
+#: Compact once this many tombstone/accept ops accumulate past the last
+#: compaction — bounds journal growth to O(backlog + interval).
+DEFAULT_COMPACT_INTERVAL = 256
+
+
+class JobJournal:
+    """Append-only JSONL journal of the accepted-but-unfinished backlog.
+
+    Thread-safe: the scheduler appends from admission and settle paths
+    concurrently.  The in-memory ``_pending`` map mirrors what a replay
+    of the on-disk log would produce, which makes compaction a pure
+    atomic rewrite of that map.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        compact_interval: int = DEFAULT_COMPACT_INTERVAL,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        if compact_interval < 1:
+            raise ValueError("compact_interval must be positive")
+        self.path = Path(path)
+        self.compact_interval = compact_interval
+        self.counters = counters if counters is not None else CounterSet(
+            appends=0,
+            compactions=0,
+            torn_records=0,
+        )
+        self._lock = threading.Lock()
+        self._pending: Dict[str, dict] = {}
+        self._quarantined: Dict[str, dict] = {}
+        self._ops_since_compact = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- appends ---------------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record) + "\n"
+        with open(self.path, "a") as handle:
+            handle.write(line)
+            handle.flush()
+        self.counters.inc("appends")
+        self._ops_since_compact += 1
+
+    def record_accept(
+        self,
+        job_id: str,
+        job: dict,
+        priority: int = 0,
+        tenant: str = "default",
+    ) -> None:
+        """Persist one accepted job *before* it becomes runnable."""
+        record = {
+            "op": "accept",
+            "id": job_id,
+            "job": job,
+            "priority": priority,
+            "tenant": tenant,
+        }
+        with self._lock:
+            self._pending[job_id] = record
+            self._append(record)
+
+    def record_done(self, job_id: str) -> None:
+        """Tombstone a job that reached a terminal state (done/failed)."""
+        with self._lock:
+            if self._pending.pop(job_id, None) is None:
+                return  # never journaled (cache hit, dedup follower)
+            self._append({"op": "done", "id": job_id})
+            self._maybe_compact()
+
+    def record_quarantine(self, job_id: str, reason: str = "") -> None:
+        """Tombstone a poison job so recovery never resurrects it."""
+        with self._lock:
+            accepted = self._pending.pop(job_id, None)
+            if accepted is not None:
+                self._quarantined[job_id] = accepted
+            self._append({"op": "quarantine", "id": job_id, "reason": reason})
+            self._maybe_compact()
+
+    # -- recovery --------------------------------------------------------------------
+
+    def recover(self) -> Tuple[List[dict], List[dict], int]:
+        """Replay the on-disk log into this journal's state.
+
+        Returns ``(pending, quarantined, torn_records)``: the accept
+        records with no tombstone (each a dict with ``job``/``priority``
+        /``tenant``), the accepts tombstoned as quarantined, and how
+        many unparsable records were skipped.  A torn trailing record
+        warns (once) instead of raising — losing one line must never
+        cost the rest of the backlog.
+        """
+        pending: Dict[str, dict] = {}
+        quarantined: Dict[str, dict] = {}
+        torn = 0
+        if self.path.exists():
+            with open(self.path, "r") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        op = record["op"]
+                        job_id = record["id"]
+                        if op not in JOURNAL_OPS:
+                            raise ValueError(f"unknown op {op!r}")
+                        if op == "accept" and "job" not in record:
+                            raise KeyError("job")
+                    except (ValueError, KeyError, TypeError):
+                        torn += 1
+                        continue
+                    if op == "accept":
+                        pending[job_id] = record
+                    elif op == "quarantine":
+                        accepted = pending.pop(job_id, None)
+                        if accepted is not None:
+                            quarantined[job_id] = accepted
+                    else:  # done
+                        pending.pop(job_id, None)
+        if torn:
+            self.counters.inc("torn_records", torn)
+            warnings.warn(
+                f"journal {self.path} had {torn} torn/corrupt record(s) "
+                f"(hard crash mid-append?); they were skipped and will be "
+                f"dropped on compaction",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        with self._lock:
+            self._pending = pending
+            self._quarantined = quarantined
+            self._compact()
+        return list(pending.values()), list(quarantined.values()), torn
+
+    # -- compaction ------------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self._ops_since_compact >= self.compact_interval:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Atomically rewrite the log as just the pending accepts."""
+        data = b"".join(
+            (json.dumps(record) + "\n").encode("utf-8")
+            for record in self._pending.values()
+        )
+        write_bytes_atomic(data, self.path)
+        self._ops_since_compact = 0
+        self.counters.inc("compactions")
+
+    def compact(self) -> None:
+        """Force a compaction now (shutdown hygiene)."""
+        with self._lock:
+            self._compact()
+
+    # -- introspection ---------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def stats(self) -> dict:
+        """Counters + live occupancy (exported under ``/metricsz``)."""
+        snapshot = self.counters.snapshot()
+        with self._lock:
+            snapshot.update(
+                pending=len(self._pending),
+                quarantined=len(self._quarantined),
+                ops_since_compact=self._ops_since_compact,
+            )
+        snapshot["size_bytes"] = self.size_bytes()
+        return snapshot

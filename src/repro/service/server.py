@@ -37,9 +37,11 @@ from urllib.parse import parse_qs, urlparse
 
 from repro._version import __version__
 from repro.service.cache import DEFAULT_MAX_BYTES, ResultCache
+from repro.service.journal import JobJournal
 from repro.service.scheduler import (
     BacklogFull,
     JobScheduler,
+    RateLimited,
     SchedulerClosed,
     UnknownJob,
     job_from_dict,
@@ -66,11 +68,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # noqa: D102 - silence default stderr spam
         pass
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = (json.dumps(payload) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
         self.service.counters.inc("responses")
@@ -145,17 +151,30 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._reply(404, {"error": f"no route for {url.path!r}"})
         except (ValueError, KeyError) as exc:
             self._reply(400, {"error": str(exc)})
-        except BacklogFull as exc:
-            self._reply(429, {"error": str(exc)})
+        except (BacklogFull, RateLimited) as exc:
+            self._reply(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": int(exc.retry_after)},
+            )
         except SchedulerClosed as exc:
-            self._reply(503, {"error": str(exc)})
+            self._reply(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": int(exc.retry_after)},
+            )
         except Exception as exc:  # pragma: no cover - last-ditch 500
             self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def _admit(self, payload: dict) -> dict:
         job = job_from_dict(payload)
         priority = int(payload.get("priority") or 0)
-        record = self.service.scheduler.submit(job, priority=priority)
+        tenant = payload.get("tenant") or "default"
+        if not isinstance(tenant, str):
+            raise ValueError("tenant must be a string")
+        record = self.service.scheduler.submit(
+            job, priority=priority, tenant=tenant
+        )
         return record.to_dict(include_result=False)
 
     def _admit_soft(self, payload) -> dict:
@@ -164,10 +183,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return self._admit(payload)
         except (ValueError, KeyError) as exc:
             return {"error": str(exc), "status": 400}
-        except BacklogFull as exc:
-            return {"error": str(exc), "status": 429}
+        except (BacklogFull, RateLimited) as exc:
+            return {
+                "error": str(exc),
+                "status": 429,
+                "retry_after": exc.retry_after,
+            }
         except SchedulerClosed as exc:
-            return {"error": str(exc), "status": 503}
+            return {
+                "error": str(exc),
+                "status": 503,
+                "retry_after": exc.retry_after,
+            }
 
 
 class ReproService:
@@ -193,6 +220,16 @@ class ReproService:
         backoff: float = 0.5,
         spill_path: Optional[Union[str, Path]] = None,
         job_runner=None,
+        pool: Optional[str] = None,
+        journal_path: Optional[Union[str, Path]] = None,
+        max_job_crashes: int = 2,
+        heartbeat_timeout: float = 10.0,
+        quota_rate: Optional[float] = None,
+        quota_burst: float = 10.0,
+        quotas: Optional[dict] = None,
+        shed_watermark: float = 0.75,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
     ) -> None:
         self.counters = CounterSet()
         self.cache = (
@@ -202,6 +239,11 @@ class ReproService:
         )
         if spill_path is None and cache_dir is not None:
             spill_path = Path(cache_dir) / "pending-jobs.jsonl"
+        if journal_path is None and cache_dir is not None:
+            journal_path = Path(cache_dir) / "jobs.wal"
+        self.journal = (
+            JobJournal(journal_path) if journal_path is not None else None
+        )
         self.scheduler = JobScheduler(
             cache=self.cache,
             workers=workers,
@@ -212,14 +254,29 @@ class ReproService:
             backoff=backoff,
             spill_path=spill_path,
             job_runner=job_runner,
+            pool=pool,
+            journal=self.journal,
+            max_job_crashes=max_job_crashes,
+            heartbeat_timeout=heartbeat_timeout,
+            quota_rate=quota_rate,
+            quota_burst=quota_burst,
+            quotas=quotas,
+            shed_watermark=shed_watermark,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
         )
         handler = type("_BoundHandler", (_ServiceHandler,), {"service": self})
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self._started_at = time.time()
         self._serve_thread: Optional[threading.Thread] = None
-        # A previous shutdown may have spilled retryable jobs; pick them
-        # up before the first request lands.
-        self.recovered = len(self.scheduler.recover_spilled())
+        # Recovery before the first request lands: the WAL carries every
+        # accepted-but-unfinished job across a *hard* crash; the legacy
+        # JSONL spill file carries graceful-drain leftovers from
+        # pre-journal deployments.
+        self.recovery = self.scheduler.recover_journal()
+        self.recovered = self.recovery["recovered"] + len(
+            self.scheduler.recover_spilled()
+        )
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -263,12 +320,23 @@ class ReproService:
     # -- payload builders ------------------------------------------------------------
 
     def health(self) -> dict:
-        return {
+        scheduler = self.scheduler
+        payload = {
             "status": "ok",
             "version": __version__,
             "uptime_s": round(time.time() - self._started_at, 3),
             "recovered_jobs": self.recovered,
+            "pool": scheduler.pool,
+            "queue_depth": scheduler._queued,
+            "breaker": scheduler.cache_breaker.state,
         }
+        if scheduler._pool is not None:
+            payload["workers_alive"] = scheduler._pool.alive_count()
+            payload["workers"] = scheduler._pool.size
+        if self.journal is not None:
+            payload["wal_pending"] = self.journal.pending_count()
+            payload["wal_bytes"] = self.journal.size_bytes()
+        return payload
 
     def metrics(self) -> dict:
         return {

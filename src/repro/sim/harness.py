@@ -675,6 +675,41 @@ def run_sweep(
     return report
 
 
+def run_job_with_retries(
+    job: SweepJob,
+    retries: int = 1,
+    backoff: float = 0.5,
+    transient: Sequence[str] = TRANSIENT_ERRORS,
+    job_runner: Callable[..., SimResult] = _run_job,
+    sleep: Callable[[float], None] = time.sleep,
+) -> CellResult:
+    """One cell through the inline retry/backoff loop; never raises.
+
+    The single-job face of the harness, for callers that own their own
+    process isolation — the service worker pool
+    (:mod:`repro.service.supervisor`) forks long-lived workers and runs
+    each dispatched job through this, so transient failures retry
+    *inside* the worker while crashes and hangs are the supervisor's
+    problem.  Always returns a :class:`CellResult`; the live exception a
+    :class:`~repro.sim.results.FailedResult` carries in inline mode is
+    stripped so the result can cross a process pipe.
+    """
+    outcome: Dict[str, CellResult] = {}
+    _run_inline(
+        [job],
+        lambda j, result: outcome.__setitem__(j.key, result),
+        retries,
+        backoff,
+        transient,
+        sleep,
+        job_runner,
+    )
+    result = outcome[job.key]
+    if isinstance(result, FailedResult):
+        result.exception = None  # live exceptions do not pickle reliably
+    return result
+
+
 def _run_inline(
     todo: Sequence[SweepJob],
     finish: Callable[[SweepJob, CellResult], None],

@@ -154,11 +154,33 @@ class TestSchedulerCore:
         try:
             scheduler.submit(job())              # occupies the worker
             assert runner.entered.wait(timeout=30)
+            # Priority > 0 bypasses the shed watermark, so these two hit
+            # the hard backlog bound itself.
+            scheduler.submit(job(policy="shift"), priority=1)
+            scheduler.submit(job(policy="swque"), priority=1)
+            with pytest.raises(BacklogFull, match="backlog full"):
+                scheduler.submit(job(policy="circ"), priority=1)
+            assert scheduler.metrics()["rejected_backlog"] == 1
+        finally:
+            runner.release.set()
+            scheduler.shutdown()
+
+    def test_load_shedding_rejects_low_priority_past_watermark(self):
+        runner = GateRunner()
+        scheduler = JobScheduler(workers=1, max_backlog=4, job_runner=runner,
+                                 shed_watermark=0.5)
+        try:
+            scheduler.submit(job())              # occupies the worker
+            assert runner.entered.wait(timeout=30)
             scheduler.submit(job(policy="shift"))
             scheduler.submit(job(policy="swque"))
-            with pytest.raises(BacklogFull, match="backlog full"):
+            # 2 queued >= 0.5 * 4: priority-0 work is shed...
+            with pytest.raises(BacklogFull, match="load shedding"):
                 scheduler.submit(job(policy="circ"))
-            assert scheduler.metrics()["rejected_backlog"] == 1
+            # ...but urgent work is still admitted.
+            urgent = scheduler.submit(job(policy="circ"), priority=5)
+            assert urgent.state == "queued"
+            assert scheduler.metrics()["shed"] == 1
         finally:
             runner.release.set()
             scheduler.shutdown()

@@ -202,3 +202,52 @@ class TestLruEviction:
             ResultCache(tmp_path, max_bytes=0)
         with pytest.raises(ValueError, match="max_entries"):
             ResultCache(tmp_path, max_entries=0)
+
+
+class TestEvictionRaces:
+    """A concurrent reader/evictor (or a second server process sharing
+    the directory) can delete an entry between our glob and our stat —
+    the PR-4 code crashed with FileNotFoundError; now every such race is
+    a counted bookkeeping event (``evict_race``), never an exception."""
+
+    def _with_ghost(self, cache):
+        """Make the cache see one entry that no longer exists on disk."""
+        ghost = cache._entry_path("f" * 32)
+        real_entries = cache._entries
+        cache._entries = lambda: real_entries() + [ghost]
+        return cache
+
+    def test_stats_tolerates_entry_vanishing_mid_scan(self, tmp_path):
+        cache = self._with_ghost(ResultCache(tmp_path))
+        cache.counters.snapshot()  # counter pre-seeded
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert cache.counters.get("evict_race") == 1
+
+    def test_enforce_bounds_tolerates_vanished_victim(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1)
+        cache.put("a" * 32, fake_result())
+        self._with_ghost(cache)
+        # put() runs _enforce_bounds over [real, ghost]: the ghost's
+        # stat fails (counted), the bound still evicts the real LRU.
+        cache.put("b" * 32, fake_result())
+        assert cache.counters.get("evict_race") >= 1
+        assert ("b" * 32) in cache
+
+    def test_evict_path_tolerates_already_deleted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache._evict_path(cache._entry_path("0" * 32), reason="lru")
+        assert cache.counters.get("evict_race") == 1
+        assert cache.counters.get("evictions") == 0
+
+    def test_touch_tolerates_eviction_under_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache._touch(cache._entry_path("0" * 32))
+        assert cache.counters.get("evict_race") == 1
+
+    def test_clear_tolerates_concurrent_delete(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 32, fake_result())
+        self._with_ghost(cache)
+        assert cache.clear() == 1  # the ghost is skipped, not raised
+        assert cache.counters.get("evict_race") == 1
