@@ -56,10 +56,13 @@ class ServiceClient:
 
     Overload responses are handled, not surfaced: a 429/503 is retried
     up to ``max_retries`` times, sleeping the server's ``Retry-After``
-    hint when present and a capped, jittered exponential backoff
-    (``backoff * 2^attempt``, capped at ``backoff_cap``, x [0.5, 1.0)
-    jitter) otherwise.  ``max_retries=0`` restores the PR-4 fail-fast
-    behaviour.  Other errors (400, 404, 500) never retry.
+    hint when present (honored as sent, bounded only by the safety
+    valve ``retry_after_cap`` — clamping it to the client's own backoff
+    would knowingly re-hit an overloaded server early) and a capped,
+    jittered exponential backoff (``backoff * 2^attempt``, capped at
+    ``backoff_cap``, x [0.5, 1.0) jitter) otherwise.  ``max_retries=0``
+    restores the PR-4 fail-fast behaviour.  Other errors (400, 404,
+    500) never retry.
     """
 
     def __init__(
@@ -69,6 +72,7 @@ class ServiceClient:
         max_retries: int = 3,
         backoff: float = 0.25,
         backoff_cap: float = 10.0,
+        retry_after_cap: float = 120.0,
         sleep: Callable[[float], None] = time.sleep,
         rng: Optional[random.Random] = None,
     ) -> None:
@@ -77,6 +81,7 @@ class ServiceClient:
         self.max_retries = max_retries
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        self.retry_after_cap = retry_after_cap
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
 
@@ -110,7 +115,9 @@ class ServiceClient:
 
     def _retry_delay(self, attempt: int, exc: ServiceError) -> float:
         if exc.retry_after is not None:
-            return min(exc.retry_after, self.backoff_cap)
+            # The server's hint ranges up to 60s — well past backoff_cap.
+            # Honor it; retry_after_cap only guards against absurd values.
+            return min(exc.retry_after, self.retry_after_cap)
         delay = min(self.backoff * (2 ** attempt), self.backoff_cap)
         return delay * (0.5 + 0.5 * self._rng.random())
 

@@ -7,15 +7,20 @@ module promotes the spill into an always-on write-ahead journal, the
 same discipline databases use for their redo logs:
 
 * **append on accept** — before a job is queued, an ``accept`` record
-  (job spec + priority + tenant, keyed by job id) is appended and
-  flushed, so the accepted backlog is on disk at all times;
+  (job spec + priority + tenant, keyed by job id) is appended, flushed,
+  and ``fsync``'d, so the accepted backlog is durably on disk at all
+  times — surviving power loss, not merely process death (construct
+  with ``fsync=False`` to trade that guarantee for append latency);
 * **mark on completion** — a terminal job appends a ``done`` (or
   ``quarantine``) tombstone; the accept record it supersedes stays put
   until compaction;
 * **compact periodically** — once enough tombstones accumulate the
-  journal is atomically rewritten with only the still-pending accepts
-  (temp file + ``os.replace``, the PR-2 snapshot idiom), so it stays
-  proportional to the live backlog, not to service lifetime.
+  journal is atomically rewritten with the still-pending accepts plus
+  the quarantined accepts and their tombstones (temp file +
+  ``os.replace``, the PR-2 snapshot idiom), so it stays proportional to
+  the live backlog + quarantine set, not to service lifetime.
+  Quarantine records survive compaction deliberately: operators inspect
+  poison jobs after restart, and ``stats()`` keeps reporting them.
 
 Recovery (:meth:`JobJournal.recover`) replays the log: every accept
 without a matching tombstone is an accepted-but-unfinished job the
@@ -29,6 +34,7 @@ journal written by one version remains readable by the next.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import warnings
 from pathlib import Path
@@ -60,11 +66,13 @@ class JobJournal:
         path: Union[str, Path],
         compact_interval: int = DEFAULT_COMPACT_INTERVAL,
         counters: Optional[CounterSet] = None,
+        fsync: bool = True,
     ) -> None:
         if compact_interval < 1:
             raise ValueError("compact_interval must be positive")
         self.path = Path(path)
         self.compact_interval = compact_interval
+        self.fsync = fsync
         self.counters = counters if counters is not None else CounterSet(
             appends=0,
             compactions=0,
@@ -73,6 +81,7 @@ class JobJournal:
         self._lock = threading.Lock()
         self._pending: Dict[str, dict] = {}
         self._quarantined: Dict[str, dict] = {}
+        self._quarantine_reasons: Dict[str, str] = {}
         self._ops_since_compact = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
@@ -83,6 +92,10 @@ class JobJournal:
         with open(self.path, "a") as handle:
             handle.write(line)
             handle.flush()
+            if self.fsync:
+                # flush() only reaches the OS page cache; without the
+                # fsync an acknowledged accept can vanish on power loss.
+                os.fsync(handle.fileno())
         self.counters.inc("appends")
         self._ops_since_compact += 1
 
@@ -119,6 +132,7 @@ class JobJournal:
             accepted = self._pending.pop(job_id, None)
             if accepted is not None:
                 self._quarantined[job_id] = accepted
+                self._quarantine_reasons[job_id] = reason
             self._append({"op": "quarantine", "id": job_id, "reason": reason})
             self._maybe_compact()
 
@@ -136,6 +150,7 @@ class JobJournal:
         """
         pending: Dict[str, dict] = {}
         quarantined: Dict[str, dict] = {}
+        reasons: Dict[str, str] = {}
         torn = 0
         if self.path.exists():
             with open(self.path, "r") as handle:
@@ -160,6 +175,7 @@ class JobJournal:
                         accepted = pending.pop(job_id, None)
                         if accepted is not None:
                             quarantined[job_id] = accepted
+                            reasons[job_id] = str(record.get("reason") or "")
                     else:  # done
                         pending.pop(job_id, None)
         if torn:
@@ -174,6 +190,7 @@ class JobJournal:
         with self._lock:
             self._pending = pending
             self._quarantined = quarantined
+            self._quarantine_reasons = reasons
             self._compact()
         return list(pending.values()), list(quarantined.values()), torn
 
@@ -184,11 +201,20 @@ class JobJournal:
             self._compact()
 
     def _compact(self) -> None:
-        """Atomically rewrite the log as just the pending accepts."""
-        data = b"".join(
-            (json.dumps(record) + "\n").encode("utf-8")
-            for record in self._pending.values()
-        )
+        """Atomically rewrite the log as the pending accepts plus the
+        quarantine set (accept + tombstone pairs), so quarantine history
+        survives compaction and restarts."""
+        lines: List[str] = [
+            json.dumps(record) for record in self._pending.values()
+        ]
+        for job_id, record in self._quarantined.items():
+            lines.append(json.dumps(record))
+            lines.append(json.dumps({
+                "op": "quarantine",
+                "id": job_id,
+                "reason": self._quarantine_reasons.get(job_id, ""),
+            }))
+        data = "".join(line + "\n" for line in lines).encode("utf-8")
         write_bytes_atomic(data, self.path)
         self._ops_since_compact = 0
         self.counters.inc("compactions")

@@ -53,6 +53,7 @@ import json
 import math
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -345,6 +346,11 @@ class JobScheduler:
         self._records: Dict[str, JobRecord] = {}
         self._heap: List[tuple] = []        # (-priority, seq, job_id)
         self._seq = 0
+        # Ids must be unique across process lifetimes, not just within
+        # one: the WAL is keyed by id across restarts, and a recovered
+        # job re-accepted under a recycled id would be tombstoned by the
+        # dead job's record_done — losing it on the next crash.
+        self._run_nonce = uuid.uuid4().hex[:8]
         self._queued = 0
         self._running = 0
         self._inflight: Dict[str, str] = {}     # cache key -> primary job id
@@ -520,7 +526,7 @@ class JobScheduler:
 
     def _next_id(self) -> str:
         self._seq += 1
-        return f"j{self._seq:06d}"
+        return f"j{self._run_nonce}-{self._seq:06d}"
 
     # -- cache access through the circuit breaker ------------------------------------
 

@@ -16,6 +16,7 @@ with every respawned worker.
 import json
 import os
 import signal
+import threading
 import time
 import warnings
 from functools import partial
@@ -182,12 +183,12 @@ class TestWorkerCrashRecovery:
 
 
 class TestJournalRecovery:
-    def _accept(self, journal, job_id, priority=0):
+    def _accept(self, journal, job_id, priority=0, policy="age"):
         journal.record_accept(
             job_id,
             {
                 "workload": "exchange2",
-                "policy": "age",
+                "policy": policy,
                 "config": "medium",
                 "num_instructions": N,
                 "seed": None,
@@ -246,6 +247,55 @@ class TestJournalRecovery:
         pending, quarantined, torn = JobJournal(wal).recover()
         assert pending == []
         assert [q["id"] for q in quarantined] == ["j1"]
+
+    def test_recovery_survives_legacy_id_collision(self, tmp_path):
+        """Regression: WAL accept ids from the dead process must never
+        collide with the restarted scheduler's fresh ids.  A collision
+        let ``record_done`` on the *old* accept tombstone the freshly
+        re-admitted job, un-journaling it — a second crash then lost it
+        permanently."""
+        wal = tmp_path / "jobs.wal"
+        crashed = JobJournal(wal)
+        # The ids a naive per-process counter would regenerate first.
+        self._accept(crashed, "j000001")
+        self._accept(crashed, "j000002", policy="shift")
+
+        release = threading.Event()
+
+        def gate_runner(sweep_job, _trace_cache=None):
+            assert release.wait(timeout=60), "gate never released"
+            return _run_job(sweep_job, _trace_cache)
+
+        scheduler = JobScheduler(workers=1, journal=JobJournal(wal),
+                                 job_runner=gate_runner, pool="thread")
+        try:
+            summary = scheduler.recover_journal()
+            assert summary["recovered"] == 2
+            # Both re-admitted jobs are still journaled while unfinished:
+            # a crash right now must be able to recover them again.
+            assert scheduler.journal.pending_count() == 2
+            release.set()
+            assert scheduler.drain(timeout=120.0)
+            assert scheduler.journal.pending_count() == 0
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+    def test_quarantine_history_survives_compaction_and_restart(self, tmp_path):
+        wal = tmp_path / "jobs.wal"
+        journal = JobJournal(wal)
+        self._accept(journal, "j1")
+        journal.record_quarantine("j1", "WorkerCrashed: poison")
+        journal.compact()
+        pending, quarantined, torn = JobJournal(wal).recover()
+        assert pending == [] and torn == 0
+        assert [q["id"] for q in quarantined] == ["j1"]
+        # The reason survives too: operators inspect poison jobs after a
+        # restart, and recover() itself compacts — so round-trip again.
+        records = [json.loads(line) for line in
+                   wal.read_text().splitlines() if line.strip()]
+        tombs = [r for r in records if r["op"] == "quarantine"]
+        assert tombs and tombs[0]["reason"] == "WorkerCrashed: poison"
 
     def test_compaction_bounds_journal_growth(self, tmp_path):
         wal = tmp_path / "jobs.wal"
@@ -374,6 +424,28 @@ class TestClientBackoff:
         client._request_once = fake_request
         assert client._request("/submit", {}) == {"ok": True}
         assert sleeps == [2.0, 2.0]  # server hint wins over backoff
+
+    def test_retry_after_beyond_backoff_cap_is_honored(self):
+        """The server's hint ranges up to 60s; clamping it to the
+        client's own backoff_cap would re-hit an overloaded server
+        early.  Only the (much larger) retry_after_cap bounds it."""
+        sleeps = []
+        client = ServiceClient(
+            "http://127.0.0.1:1", max_retries=1, backoff_cap=3.0,
+            sleep=sleeps.append,
+        )
+
+        def busy_then_ok(path, payload=None):
+            if not sleeps:
+                raise ServiceError(429, {"error": "busy"}, retry_after=45.0)
+            return {"ok": True}
+
+        client._request_once = busy_then_ok
+        assert client._request("/submit", {}) == {"ok": True}
+        assert sleeps == [45.0]  # not clamped to backoff_cap
+        assert client._retry_delay(
+            0, ServiceError(429, {}, retry_after=1e9)
+        ) == client.retry_after_cap
 
     def test_backoff_is_capped_and_jittered_without_hint(self):
         sleeps = []
