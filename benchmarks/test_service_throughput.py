@@ -1,0 +1,162 @@
+"""Fleet-throughput benchmark: jobs/sec through the distributed queue.
+
+Where ``test_throughput.py`` measures the simulator core, this one
+measures the *service path*: a stateless HTTP frontend over a shared
+durable queue (``repro.service.queue``) feeding real worker nodes
+(``repro.service.node``) with forked, supervised sim workers.  A load
+generator submits a batch of distinct jobs through the public client
+and waits for every one to settle; the headline numbers are jobs/sec
+and the p50/p99 submit-to-commit latency.  The result is written to
+``BENCH_service.json`` at the repo root — the committed copy is the
+baseline future queue/lease/commit-path changes are judged against.
+
+Environment knobs (both default off):
+
+``BENCH_SMOKE=1``
+    Short run (8 jobs, 2k instructions, one node) for CI smoke jobs.
+``BENCH_CHECK_BASELINE=1``
+    Fail if freshly measured jobs/sec regressed more than 40% below the
+    committed ``BENCH_service.json``.  Opt-in because it only means
+    something on hardware comparable to the baseline's recorder.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+
+from bench_util import record
+from repro.service import ReproService, ServiceClient, WorkerNode
+from repro.telemetry import host_info
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_service.json"
+
+REGRESSION_TOLERANCE = 0.40
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+N_JOBS = 8 if SMOKE else 32
+N_NODES = 1 if SMOKE else 2
+WORKERS_PER_NODE = 2
+NUM_INSTRUCTIONS = 2_000 if SMOKE else 20_000
+
+POLICIES = ("age", "swque", "circ", "shift")
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _load_committed_baseline() -> dict:
+    if not BENCH_PATH.exists():
+        return {}
+    try:
+        return json.loads(BENCH_PATH.read_text())
+    except (json.JSONDecodeError, OSError):
+        return {}  # a torn or hand-edited file is not a benchmark failure
+
+
+def test_service_throughput(tmp_path):
+    committed = _load_committed_baseline()
+    queue_dir = tmp_path / "queue"
+    cache_dir = tmp_path / "cache"
+
+    service = ReproService(
+        port=0, queue_dir=queue_dir, cache_dir=cache_dir, fsync=False
+    ).start()
+    nodes = []
+    threads = []
+    try:
+        for _ in range(N_NODES):
+            node = WorkerNode(
+                queue_dir,
+                cache_dir=cache_dir,
+                workers=WORKERS_PER_NODE,
+                lease_seconds=10.0,
+                fsync=False,
+            )
+            thread = threading.Thread(target=node.run_forever, daemon=True)
+            thread.start()
+            nodes.append(node)
+            threads.append(thread)
+
+        client = ServiceClient(service.url)
+        client.wait_healthy(timeout=30)
+
+        specs = [
+            {
+                "workload": "exchange2",
+                "policy": POLICIES[i % len(POLICIES)],
+                "num_instructions": NUM_INSTRUCTIONS,
+                "seed": i,  # distinct seeds: no cache hits, no dedup
+            }
+            for i in range(N_JOBS)
+        ]
+
+        started = time.perf_counter()
+        ids = []
+        for batch_record in client.batch(specs):
+            assert "error" not in batch_record, batch_record
+            ids.append(batch_record["id"])
+        latencies = []
+        for job_id in ids:
+            client.wait_result(job_id, timeout=600.0)
+            final = client.status(job_id)
+            assert final["state"] == "done", final
+            latencies.append(final["finished_at"] - final["submitted_at"])
+        elapsed = time.perf_counter() - started
+
+        fleet = client.metricsz()["fleet"]["totals"]
+    finally:
+        for node in nodes:
+            node.drain(timeout=10.0)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        service.stop()
+
+    # Exactly-once, even under full load: one envelope per job, no
+    # duplicate commits anywhere in the fleet.
+    assert len(list((queue_dir / "results").iterdir())) == N_JOBS
+    assert fleet["duplicate_commits"] == 0
+
+    payload = {
+        "benchmark": "service-throughput",
+        "smoke": SMOKE,
+        "host": host_info(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "jobs": N_JOBS,
+        "nodes": N_NODES,
+        "workers_per_node": WORKERS_PER_NODE,
+        "num_instructions": NUM_INSTRUCTIONS,
+        "jobs_per_sec": round(N_JOBS / elapsed, 3),
+        "elapsed_s": round(elapsed, 3),
+        "latency_s": {
+            "p50": round(_percentile(latencies, 0.50), 4),
+            "p99": round(_percentile(latencies, 0.99), 4),
+            "mean": round(sum(latencies) / len(latencies), 4),
+        },
+        "fleet_totals": {
+            key: fleet[key]
+            for key in ("claims", "commits", "duplicate_commits",
+                        "fenced_rejections", "reclaims")
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record("service_throughput", payload)
+
+    assert payload["jobs_per_sec"] > 0
+    if os.environ.get("BENCH_CHECK_BASELINE") == "1" and committed.get(
+        "jobs_per_sec"
+    ):
+        floor = (1.0 - REGRESSION_TOLERANCE) * committed["jobs_per_sec"]
+        assert payload["jobs_per_sec"] >= floor, (
+            f"service throughput regressed: {payload['jobs_per_sec']:.2f} "
+            f"jobs/sec vs committed baseline "
+            f"{committed['jobs_per_sec']:.2f} (floor {floor:.2f})"
+        )

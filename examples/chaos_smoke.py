@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
 """Chaos smoke test for the fleet-grade service (CI chaos-smoke job).
 
-Two phases, both against a real ``python -m repro serve`` subprocess:
+Three phases against real ``python -m repro`` subprocesses:
 
-1. **Worker kill** — submit a batch, SIGKILL one worker process
-   mid-batch (pids come from ``/metricsz``), and assert that every job
-   still completes and ``/metricsz`` reports >= 1 worker restart.
+1. **Worker kill** — submit a batch to a single-node server, SIGKILL
+   one worker process mid-batch (pids come from ``/metricsz``), and
+   assert that every job still completes and ``/metricsz`` reports
+   >= 1 worker restart.
 2. **Server kill** — submit a fresh batch, SIGKILL the *server* before
    it can finish, restart it on the same cache/WAL directory, and
    assert the write-ahead journal recovers the accepted jobs: after the
    restarted server drains, resubmitting the identical specs is served
    entirely from the cache (completed) or reported quarantined —
    nothing silently lost.
+3. **Fleet kill** — a distributed fleet: two ``serve --queue-dir``
+   frontends and two ``repro work`` nodes over one queue directory.
+   Submit a batch through frontend 1, then SIGKILL frontend 1 *and*
+   one worker node mid-batch.  The surviving frontend must answer for
+   every job (exactly one committed result each, no duplicates) and
+   ``/metricsz`` must show the dead node's leases were reclaimed.
 
 Run it standalone::
 
@@ -39,16 +46,26 @@ PHASE2_BATCH = [
     {"workload": "leela", "policy": policy, "num_instructions": 120_000}
     for policy in ("age", "swque", "circ", "shift")
 ]
+PHASE3_BATCH = [
+    {"workload": "xz", "policy": policy, "num_instructions": 120_000,
+     "seed": seed}
+    for policy in ("age", "swque", "circ", "shift")
+    for seed in (1, 2)
+]
 
 
-def start_server(cache_dir: str) -> "tuple[subprocess.Popen, ServiceClient]":
+def start_server(cache_dir: str,
+                 queue_dir: str = None) -> "tuple[subprocess.Popen, ServiceClient]":
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--cache-dir", cache_dir,
+        "--workers", str(WORKERS),
+    ]
+    if queue_dir is not None:
+        command += ["--queue-dir", queue_dir]
     proc = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--port", "0",
-            "--cache-dir", cache_dir,
-            "--workers", str(WORKERS),
-        ],
+        command,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -148,21 +165,102 @@ def phase2_server_kill(proc: subprocess.Popen, client: ServiceClient,
     return proc, client
 
 
+def start_worker_node(queue_dir: str, cache_dir: str,
+                      node_id: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "work",
+            "--queue-dir", queue_dir,
+            "--cache-dir", cache_dir,
+            "--workers", str(WORKERS),
+            "--lease", "2",
+            "--node-id", node_id,
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+
+
+def phase3_fleet_kill() -> None:
+    print("phase 3: distributed fleet — SIGKILL a frontend and a worker "
+          "node mid-batch")
+    queue_dir = tempfile.mkdtemp(prefix="repro-chaos-queue-")
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-fleet-")
+    fe1_proc, fe1 = start_server(cache_dir, queue_dir=queue_dir)
+    fe2_proc, fe2 = start_server(cache_dir, queue_dir=queue_dir)
+    w1 = start_worker_node(queue_dir, cache_dir, "chaos-w1")
+    w2 = start_worker_node(queue_dir, cache_dir, "chaos-w2")
+    procs = [fe1_proc, fe2_proc, w1, w2]
+    try:
+        ids = submit(fe1, PHASE3_BATCH)
+        print(f"  accepted {len(ids)} jobs via frontend 1")
+        # Let the victims pick up work before chaos strikes.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if fe2.metricsz()["queue"]["running"] >= 3:
+                break
+            time.sleep(0.2)
+        print(f"  killing frontend 1 pid={fe1_proc.pid} and worker node "
+              f"pid={w1.pid}")
+        fe1_proc.kill()
+        os.kill(w1.pid, signal.SIGKILL)
+        # The *surviving* frontend must answer for every job — frontends
+        # are stateless over the shared queue.
+        for job_id in ids:
+            result = fe2.wait_result(job_id, timeout=600)
+            state = fe2.status(job_id)["state"]
+            if state != "done" or not result.ok:
+                raise SystemExit(
+                    f"FAIL: job {job_id} ended {state!r} after the fleet kill"
+                )
+        # Exactly once: one committed envelope per job, fleet-wide.
+        results = [
+            name for name in os.listdir(os.path.join(queue_dir, "results"))
+            if name.endswith(".json")
+        ]
+        if len(results) != len(ids):
+            raise SystemExit(
+                f"FAIL: {len(ids)} jobs but {len(results)} result envelopes"
+            )
+        totals = fe2.metricsz()["fleet"]["totals"]
+        print(f"  all {len(ids)} jobs committed exactly once; "
+              f"reclaims={totals['reclaims']} "
+              f"duplicate_commits={totals['duplicate_commits']} "
+              f"fenced={totals['fenced_rejections']}")
+        if totals["reclaims"] < 1:
+            raise SystemExit(
+                "FAIL: /metricsz shows no lease reclaim after the node kill"
+            )
+        if totals["duplicate_commits"] != 0:
+            raise SystemExit("FAIL: duplicate commit slipped through fencing")
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
 def main() -> int:
     cache_dir = tempfile.mkdtemp(prefix="repro-chaos-")
     proc, client = start_server(cache_dir)
     try:
         phase1_worker_kill(client)
         proc, client = phase2_server_kill(proc, client, cache_dir)
-        print("OK: fleet node survived worker SIGKILL and server SIGKILL "
-              "with no job lost")
-        return 0
     finally:
         proc.terminate()
         try:
             proc.wait(timeout=60)
         except subprocess.TimeoutExpired:
             proc.kill()
+    phase3_fleet_kill()
+    print("OK: fleet survived worker SIGKILL, server SIGKILL, and a "
+          "frontend+node SIGKILL with no job lost and no duplicate commit")
+    return 0
 
 
 if __name__ == "__main__":

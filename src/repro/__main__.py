@@ -218,6 +218,56 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="on shutdown, finish accepted jobs for up to "
                             "this long; the rest spill to the cache dir "
                             "as retryable (default 30)")
+    serve.add_argument("--queue-dir", default=None, metavar="DIR",
+                       help="fleet mode: run as a *stateless* frontend "
+                            "that appends accepted jobs to this shared "
+                            "durable queue directory; execution happens "
+                            "on 'repro work' nodes sharing it (disables "
+                            "the in-process scheduler/pool options)")
+    serve.add_argument("--lease", type=float, default=None, metavar="SECONDS",
+                       help="fleet mode: queue lease duration "
+                            "(default 10)")
+
+    work = sub.add_parser(
+        "work",
+        help="run one fleet worker node: pulls jobs from a shared "
+             "--queue-dir under leases with fencing epochs and commits "
+             "results exactly once",
+    )
+    work.add_argument("--queue-dir", required=True, metavar="DIR",
+                      help="the shared durable queue directory "
+                           "(same one the 'serve --queue-dir' "
+                           "frontends append to)")
+    work.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                      help="shared content-addressed result store "
+                           "(default ./.repro-cache); 'none' disables")
+    work.add_argument("--workers", type=int, default=2,
+                      help="supervised worker processes (default 2)")
+    work.add_argument("--node-id", default=None,
+                      help="stable node name in the registry "
+                           "(default: a random worker-<hex> id)")
+    work.add_argument("--lease", type=float, default=10.0, metavar="SECONDS",
+                      help="lease duration; a node silent this long is "
+                           "presumed dead and its jobs are reclaimed at "
+                           "the next fencing epoch (default 10)")
+    work.add_argument("--max-job-crashes", type=int, default=2, metavar="K",
+                      help="fleet-wide worker losses one job may cause "
+                           "before it is quarantined as poison "
+                           "(default 2)")
+    work.add_argument("--timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-job wall-clock budget")
+    work.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                      metavar="SECONDS",
+                      help="local worker-process heartbeat staleness "
+                           "before it is declared hung (default 10)")
+    work.add_argument("--retries", type=int, default=1,
+                      help="transient-failure retries per job (default 1)")
+    work.add_argument("--drain-timeout", type=float, default=30.0,
+                      metavar="SECONDS",
+                      help="on SIGINT/SIGTERM, finish in-flight jobs for "
+                           "up to this long, then release their leases "
+                           "for requeue (default 30)")
 
     sub.add_parser("list", help="list workloads and policies")
     return parser
@@ -430,17 +480,24 @@ def main(argv=None) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             quota_rate=args.quota_rate,
             quota_burst=args.quota_burst,
+            queue_dir=args.queue_dir,
+            lease_seconds=args.lease,
         )
         host, port = service.address
         print(f"repro serve: listening on http://{host}:{port}", flush=True)
         if service.recovered:
             print(f"  recovered {service.recovered} unfinished job(s) from "
                   f"the journal/spill of a previous run", flush=True)
-        quota = (f"{args.quota_rate:g}/s" if args.quota_rate is not None
-                 else "unlimited")
-        print(f"  cache: {cache_dir or 'disabled'}  pool: {args.pool}  "
-              f"workers: {args.workers}  backlog: {args.backlog}  "
-              f"quota: {quota}", flush=True)
+        if args.queue_dir is not None:
+            print(f"  fleet frontend: queue {args.queue_dir}  "
+                  f"cache: {cache_dir or 'disabled'}  "
+                  f"backlog: {args.backlog}", flush=True)
+        else:
+            quota = (f"{args.quota_rate:g}/s" if args.quota_rate is not None
+                     else "unlimited")
+            print(f"  cache: {cache_dir or 'disabled'}  pool: {args.pool}  "
+                  f"workers: {args.workers}  backlog: {args.backlog}  "
+                  f"quota: {quota}", flush=True)
         import signal as _signal
 
         def _term(signum, frame):
@@ -453,11 +510,49 @@ def main(argv=None) -> int:
             pass
         print("repro serve: draining...", flush=True)
         outcome = service.stop(drain=True, timeout=args.drain_timeout)
-        if outcome["spilled"]:
+        if outcome.get("spilled"):
             print(f"repro serve: spilled {outcome['spilled']} queued job(s) "
                   f"as retryable (resubmitted on next start)", flush=True)
         print("repro serve: bye", flush=True)
         return 0
+    if args.command == "work":
+        from repro.service.node import WorkerNode
+
+        cache_dir = None if args.cache_dir == "none" else args.cache_dir
+        node = WorkerNode(
+            args.queue_dir,
+            cache_dir=cache_dir,
+            workers=args.workers,
+            node_id=args.node_id,
+            lease_seconds=args.lease,
+            max_job_crashes=args.max_job_crashes,
+            job_timeout=args.timeout,
+            heartbeat_timeout=args.heartbeat_timeout,
+            retries=args.retries,
+        )
+        node.start()
+        print(f"repro work: node {node.node_id} pulling from "
+              f"{args.queue_dir} ({args.workers} workers, "
+              f"{args.lease:g}s leases)", flush=True)
+        import signal as _signal
+
+        def _term(signum, frame):
+            raise KeyboardInterrupt(f"signal {signum}")
+
+        _signal.signal(_signal.SIGTERM, _term)
+        interrupted = False
+        try:
+            node.run_forever()
+        except KeyboardInterrupt:
+            interrupted = True
+        print("repro work: draining...", flush=True)
+        summary = node.drain(timeout=args.drain_timeout)
+        if summary["requeued"]:
+            print(f"repro work: released {summary['requeued']} in-flight "
+                  f"lease(s) for requeue on another node", flush=True)
+        print("repro work: bye", flush=True)
+        # Mirror the sweep/serve convention: fatal-signal exit on drain.
+        return 130 if interrupted else 0
     if args.command == "experiment":
         func = _EXPERIMENTS[args.name]
         if args.name in _ANALYTIC:

@@ -1,6 +1,7 @@
-"""Simulation-as-a-service: cache, scheduler, supervisor, WAL, server.
+"""Simulation-as-a-service: cache, scheduler, supervisor, WAL, queue,
+worker nodes, server.
 
-The serving layer over the reproduction (DESIGN.md §10-§11).  The
+The serving layer over the reproduction (DESIGN.md §10-§12).  The
 pieces compose on their own or together through
 :class:`~repro.service.server.ReproService`:
 
@@ -17,9 +18,16 @@ pieces compose on their own or together through
   with poison-job quarantine driven by the scheduler.
 * :mod:`repro.service.journal` — the always-on write-ahead journal that
   makes every *accepted* job durable across hard crashes.
+* :mod:`repro.service.queue` — the distributed half: a shared durable
+  job queue over a directory, with lease files, monotonic fencing
+  epochs, and exactly-once result commitment, so N stateless frontends
+  and N worker nodes survive ``kill -9`` and SIGSTOP zombies.
+* :mod:`repro.service.node` — the worker node (``python -m repro
+  work``) that pulls from the queue onto the supervised pool.
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
-  stdlib-only HTTP API (``python -m repro serve``) and a client that
-  honors ``Retry-After`` with capped jittered backoff.
+  stdlib-only HTTP API (``python -m repro serve``, fleet-frontend mode
+  via ``--queue-dir``) and a client with idempotency tokens and
+  ``Retry-After``-honoring capped jittered backoff.
 """
 
 from repro.service.cache import (
@@ -31,6 +39,8 @@ from repro.service.cache import (
 )
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.journal import JobJournal
+from repro.service.node import WorkerNode, queue_key_for
+from repro.service.queue import Claim, DurableQueue, FencedWrite, QueueJob
 from repro.service.scheduler import (
     BacklogFull,
     JobRecord,
@@ -49,10 +59,14 @@ __all__ = [
     "BacklogFull",
     "CACHE_SCHEMA_VERSION",
     "CircuitBreaker",
+    "Claim",
+    "DurableQueue",
+    "FencedWrite",
     "JobJournal",
     "JobRecord",
     "JobScheduler",
     "ProcessWorkerPool",
+    "QueueJob",
     "RateLimited",
     "ReproService",
     "ResultCache",
@@ -62,7 +76,9 @@ __all__ = [
     "TokenBucket",
     "UncacheableJob",
     "UnknownJob",
+    "WorkerNode",
     "cache_key",
     "job_from_dict",
     "job_to_dict",
+    "queue_key_for",
 ]

@@ -140,6 +140,7 @@ class ResultCache:
             corrupt_entries=0,
             version_invalidations=0,
             put_skipped=0,
+            put_duplicate=0,
             evict_race=0,
         )
         # Logical LRU clock: strictly increasing mtimes make eviction
@@ -229,15 +230,28 @@ class ResultCache:
         self._touch(path)
         return result
 
-    def put(self, key: str, result: CellResult, job: Optional[SweepJob] = None) -> bool:
+    def put(
+        self,
+        key: str,
+        result: CellResult,
+        job: Optional[SweepJob] = None,
+        if_absent: bool = False,
+    ) -> bool:
         """Store ``result`` under ``key``; returns True if it was written.
 
         Failed results are not stored (counted under ``put_skipped``).
         The write is atomic, and eviction runs afterwards so the new
-        entry is part of the size accounting.
+        entry is part of the size accounting.  ``if_absent=True`` skips
+        the write when the key already exists (counted under
+        ``put_duplicate``) — fleet nodes use it so the first committed
+        result for a content key wins and duplicates don't churn the
+        LRU clock.
         """
         if not isinstance(result, SimResult):
             self.counters.inc("put_skipped")
+            return False
+        if if_absent and key in self:
+            self.counters.inc("put_duplicate")
             return False
         envelope = {
             "schema": CACHE_SCHEMA_VERSION,

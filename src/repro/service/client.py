@@ -24,6 +24,7 @@ import random
 import time
 import urllib.error
 import urllib.request
+import uuid
 from typing import Callable, List, Optional
 
 from repro.sim.results import result_from_dict
@@ -147,11 +148,24 @@ class ServiceClient:
         """Admit one job; keyword arguments are the job-spec fields
         (``workload``, ``policy``, ``config``, ``num_instructions``,
         ``seed``, ``max_cycles``, ``warmup_instructions``, ``priority``,
-        ``tenant``)."""
+        ``tenant``).
+
+        An idempotency ``token`` is attached automatically (pass your
+        own to override) and — because it is generated *once* per call,
+        not per attempt — every 429/503 retry of this POST replays the
+        same token.  A submission whose response was dropped on the
+        wire therefore cannot double-enqueue: the server answers the
+        retry with the original record.
+        """
+        job.setdefault("token", f"tok-{uuid.uuid4().hex}")
         return self._request("/submit", payload=job)
 
     def batch(self, jobs: List[dict]) -> List[dict]:
-        """Admit several jobs; per-job records or error objects."""
+        """Admit several jobs; per-job records or error objects.  Each
+        job gets its own idempotency token (see :meth:`submit`)."""
+        jobs = [dict(job) for job in jobs]
+        for job in jobs:
+            job.setdefault("token", f"tok-{uuid.uuid4().hex}")
         return self._request("/batch", payload={"jobs": jobs})["jobs"]
 
     def status(self, job_id: str) -> dict:

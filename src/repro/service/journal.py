@@ -52,6 +52,54 @@ JOURNAL_OPS = ("accept", "done", "quarantine")
 DEFAULT_COMPACT_INTERVAL = 256
 
 
+# -- shared record format -----------------------------------------------------------
+#
+# The WAL's one-JSON-object-per-line append discipline is also the wire
+# format of the distributed queue's job segments
+# (:mod:`repro.service.queue`): same append+flush+fsync durability, same
+# torn-trailing-record tolerance.  These helpers are that format.
+
+
+def append_record(path: Union[str, Path], record: dict, fsync: bool = True) -> None:
+    """Append one JSON record durably: write, flush, and (by default)
+    ``fsync`` so an acknowledged record survives power loss, not merely
+    process death."""
+    line = json.dumps(record) + "\n"
+    with open(path, "a") as handle:
+        handle.write(line)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+
+
+def load_records(path: Union[str, Path]) -> Tuple[List[dict], int]:
+    """Every parsable JSON-object record in ``path`` plus a torn count.
+
+    A line that fails to parse — or parses to something other than an
+    object — is counted, never fatal: a crash mid-append must cost at
+    most the record being written, not the file.
+    """
+    records: List[dict] = []
+    torn = 0
+    path = Path(path)
+    if not path.exists():
+        return records, torn
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+            except (ValueError, TypeError):
+                torn += 1
+                continue
+            records.append(record)
+    return records, torn
+
+
 class JobJournal:
     """Append-only JSONL journal of the accepted-but-unfinished backlog.
 
@@ -88,14 +136,9 @@ class JobJournal:
     # -- appends ---------------------------------------------------------------------
 
     def _append(self, record: dict) -> None:
-        line = json.dumps(record) + "\n"
-        with open(self.path, "a") as handle:
-            handle.write(line)
-            handle.flush()
-            if self.fsync:
-                # flush() only reaches the OS page cache; without the
-                # fsync an acknowledged accept can vanish on power loss.
-                os.fsync(handle.fileno())
+        # flush() only reaches the OS page cache; without the fsync an
+        # acknowledged accept can vanish on power loss.
+        append_record(self.path, record, fsync=self.fsync)
         self.counters.inc("appends")
         self._ops_since_compact += 1
 
@@ -151,33 +194,27 @@ class JobJournal:
         pending: Dict[str, dict] = {}
         quarantined: Dict[str, dict] = {}
         reasons: Dict[str, str] = {}
-        torn = 0
-        if self.path.exists():
-            with open(self.path, "r") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                        op = record["op"]
-                        job_id = record["id"]
-                        if op not in JOURNAL_OPS:
-                            raise ValueError(f"unknown op {op!r}")
-                        if op == "accept" and "job" not in record:
-                            raise KeyError("job")
-                    except (ValueError, KeyError, TypeError):
-                        torn += 1
-                        continue
-                    if op == "accept":
-                        pending[job_id] = record
-                    elif op == "quarantine":
-                        accepted = pending.pop(job_id, None)
-                        if accepted is not None:
-                            quarantined[job_id] = accepted
-                            reasons[job_id] = str(record.get("reason") or "")
-                    else:  # done
-                        pending.pop(job_id, None)
+        records, torn = load_records(self.path)
+        for record in records:
+            try:
+                op = record["op"]
+                job_id = record["id"]
+                if op not in JOURNAL_OPS:
+                    raise ValueError(f"unknown op {op!r}")
+                if op == "accept" and "job" not in record:
+                    raise KeyError("job")
+            except (ValueError, KeyError, TypeError):
+                torn += 1
+                continue
+            if op == "accept":
+                pending[job_id] = record
+            elif op == "quarantine":
+                accepted = pending.pop(job_id, None)
+                if accepted is not None:
+                    quarantined[job_id] = accepted
+                    reasons[job_id] = str(record.get("reason") or "")
+            else:  # done
+                pending.pop(job_id, None)
         if torn:
             self.counters.inc("torn_records", torn)
             warnings.warn(

@@ -1,0 +1,374 @@
+"""Worker node: pulls jobs from a shared :class:`DurableQueue` and runs
+them on the PR-6 supervised process pool.
+
+A node is the fleet's unit of compute.  It owns no job state — every
+durable fact (intake, lease, outcome) lives in the queue directory — so
+a node can be ``kill -9``'d at any instant and the fleet loses nothing:
+its leases expire, another node reclaims at the next fencing epoch, and
+its own late writes (a SIGSTOP zombie waking up) are fenced at commit.
+
+One iteration of the node loop (:meth:`WorkerNode.step`):
+
+1. **claim** — while the pool has idle workers (and the node is not
+   draining), claim the best runnable job.  A content-key cache hit is
+   committed immediately without touching a worker — the fleet analogue
+   of the frontend's warm-cache fast path.
+2. **renew** — leases past half their window are renewed; a renewal
+   that discovers a higher epoch marks the lease lost but does *not*
+   kill the running job.  Aborting it buys nothing: the outcome is
+   already owned by the new epoch holder, and the stale result is
+   cheaper to fence at commit than to guarantee a clean abort.
+3. **supervise** — drain pool events.  A result commits (exactly-once,
+   fenced); a lost worker (crash/hang/timeout) releases the lease with
+   a crash charge so the fleet's poison-job budget keeps counting
+   across nodes, exactly as the single-node scheduler's requeue path
+   counts within one node.
+4. **heartbeat** — publish the node registry file (role, pool health,
+   counters) that frontends aggregate into the ``/healthz`` fleet view.
+
+Graceful drain (:meth:`WorkerNode.drain`, wired to SIGINT/SIGTERM by
+``python -m repro work``): stop claiming, give in-flight jobs a bounded
+window to finish and commit, then release the remaining leases
+*without* a crash charge — a drained job requeues at the next epoch and
+costs nothing against its quarantine budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.service.cache import ResultCache, UncacheableJob, cache_key
+from repro.service.queue import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_JOB_CRASHES,
+    Claim,
+    DurableQueue,
+    FencedWrite,
+    QueueJob,
+)
+from repro.service.scheduler import job_from_dict
+from repro.service.supervisor import ProcessWorkerPool
+from repro.sim.results import SimResult
+from repro.telemetry.metrics import CounterSet
+
+#: Default supervised workers per node.
+DEFAULT_NODE_WORKERS = 2
+
+#: Idle sleep between loop iterations when there is nothing to do.
+DEFAULT_POLL_INTERVAL = 0.05
+
+
+class WorkerNode:
+    """One worker node on a shared queue directory.
+
+    ``job_runner`` injects an in-process runner (tests); production
+    nodes fork real simulator processes.  ``clock`` must match the
+    queue's notion of wall time.
+    """
+
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        cache_dir: Optional[Union[str, Path]] = None,
+        workers: int = DEFAULT_NODE_WORKERS,
+        node_id: Optional[str] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_job_crashes: int = DEFAULT_MAX_JOB_CRASHES,
+        job_timeout: Optional[float] = None,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float = 10.0,
+        retries: int = 1,
+        fsync: bool = True,
+        job_runner: Optional[Callable] = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        clock: Callable[[], float] = time.time,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        self.node_id = node_id or f"worker-{uuid.uuid4().hex[:8]}"
+        self.counters = counters if counters is not None else CounterSet(
+            dispatched=0,
+            committed=0,
+            commit_duplicates=0,
+            commit_fenced=0,
+            cache_hits=0,
+            worker_losses=0,
+            drained_releases=0,
+            bad_job_records=0,
+        )
+        self.queue = DurableQueue(
+            queue_dir,
+            node_id=self.node_id,
+            lease_seconds=lease_seconds,
+            max_job_crashes=max_job_crashes,
+            fsync=fsync,
+            clock=clock,
+        )
+        self.cache = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        self.pool = ProcessWorkerPool(
+            size=workers,
+            job_runner=job_runner,
+            retries=retries,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            job_timeout=job_timeout,
+        )
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._inflight: Dict[str, Claim] = {}
+        self._inflight_entries: Dict[str, QueueJob] = {}
+        self._draining = threading.Event()
+        self._stop = threading.Event()
+        self._started = False
+        self._last_heartbeat = 0.0
+        self._last_sweep = 0.0
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> "WorkerNode":
+        if not self._started:
+            self.pool.start()
+            self._started = True
+            self._heartbeat(force=True)
+        return self
+
+    def run_forever(self) -> None:
+        """Drive :meth:`step` until :meth:`drain` or :meth:`stop`."""
+        self.start()
+        while not self._stop.is_set():
+            busy = self.step()
+            if not busy:
+                self._stop.wait(self.poll_interval)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # -- one loop iteration -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """One scheduling pass; True when it did useful work (claimed,
+        committed, or handled a loss) — the caller sleeps otherwise."""
+        did_work = False
+        did_work |= self._claim_work()
+        self._renew_leases()
+        did_work |= self._supervise()
+        self._heartbeat()
+        self._maybe_sweep()
+        return did_work
+
+    def _claim_work(self) -> bool:
+        claimed_any = False
+        while (
+            not self._draining.is_set()
+            and not self._stop.is_set()
+            and self.pool.idle_workers() > 0
+        ):
+            got = self.queue.claim_next()
+            if got is None:
+                break
+            entry, claim = got
+            claimed_any = True
+            try:
+                job = job_from_dict(dict(entry.job))
+            except (ValueError, KeyError, TypeError) as exc:
+                # A malformed intake record (foreign writer, version
+                # skew).  Settle it as failed so it stops being claimed
+                # at ever-higher epochs by every node forever.
+                self.counters.inc("bad_job_records")
+                self._commit_failure(entry, claim, "MalformedJob", str(exc))
+                continue
+            if self.cache is not None and entry.key:
+                hit = self.cache.get(entry.key)
+                if hit is not None:
+                    self.counters.inc("cache_hits")
+                    self._commit(entry, claim, hit.to_dict(), "done",
+                                 cached=True)
+                    continue
+            if not self.pool.dispatch(entry.id, job):
+                # Raced our own idle count (a worker died under us);
+                # requeue without a crash charge.
+                self.queue.release(claim)
+                break
+            with self._lock:
+                self._inflight[entry.id] = claim
+                self._inflight_entries[entry.id] = entry
+            self.counters.inc("dispatched")
+        return claimed_any
+
+    def _renew_leases(self) -> None:
+        now = self._clock()
+        with self._lock:
+            claims = list(self._inflight.values())
+        for claim in claims:
+            if claim.lost:
+                continue
+            if claim.expires_at - now <= self.queue.lease_seconds / 2.0:
+                self.queue.renew(claim)
+
+    def _supervise(self) -> bool:
+        events = self.pool.poll()
+        for event in events:
+            if event[0] == "result":
+                _, job_id, _job, result = event
+                with self._lock:
+                    claim = self._inflight.pop(job_id, None)
+                    entry = self._inflight_entries.pop(job_id, None)
+                if claim is None or entry is None:
+                    continue  # pragma: no cover - unknown job id
+                state = "done" if isinstance(result, SimResult) else "failed"
+                self._commit(entry, claim, result.to_dict(), state,
+                             sim_result=result)
+            else:  # ("lost", job_id, job, kind, message)
+                _, job_id, _job, kind, message = event
+                with self._lock:
+                    claim = self._inflight.pop(job_id, None)
+                    self._inflight_entries.pop(job_id, None)
+                self.counters.inc("worker_losses")
+                if claim is not None:
+                    # Crash-charged: the fleet's poison budget counts
+                    # local losses the same as dead-node reclaims.
+                    self.queue.release(claim, crashed=True)
+        return bool(events)
+
+    def _commit(
+        self,
+        entry: QueueJob,
+        claim: Claim,
+        result_dict: dict,
+        state: str,
+        cached: bool = False,
+        sim_result: Optional[SimResult] = None,
+    ) -> None:
+        try:
+            outcome = self.queue.commit(
+                claim, result_dict, state=state, cached=cached
+            )
+        except FencedWrite:
+            self.counters.inc("commit_fenced")
+            return
+        if outcome == "duplicate":
+            self.counters.inc("commit_duplicates")
+        else:
+            self.counters.inc("committed")
+        if (
+            sim_result is not None
+            and self.cache is not None
+            and entry.key
+        ):
+            # First committer wins; a duplicate put is a no-op so the
+            # shared cache never churns under racing nodes.
+            self.cache.put(entry.key, sim_result,
+                           job=self._job_for_cache(entry), if_absent=True)
+
+    @staticmethod
+    def _job_for_cache(entry: QueueJob):
+        try:
+            return job_from_dict(dict(entry.job))
+        except (ValueError, KeyError, TypeError):  # pragma: no cover
+            return None
+
+    def _commit_failure(
+        self, entry: QueueJob, claim: Claim, error_type: str, message: str
+    ) -> None:
+        from repro.sim.results import FailedResult
+
+        job = entry.job if isinstance(entry.job, dict) else {}
+        failure = FailedResult(
+            workload=str(job.get("workload", "?")),
+            policy=str(job.get("policy", "?")),
+            config=str(job.get("config") or "medium"),
+            error_type=error_type,
+            error_message=message,
+            attempts=0,
+        )
+        self._commit(entry, claim, failure.to_dict(), "failed")
+
+    # -- heartbeat / hygiene ----------------------------------------------------------
+
+    def _heartbeat(self, force: bool = False) -> None:
+        now = self._clock()
+        interval = min(self.queue.lease_seconds / 3.0, 1.0)
+        if not force and now - self._last_heartbeat < interval:
+            return
+        self._last_heartbeat = now
+        payload = {
+            "workers": self.pool.alive_count(),
+            "busy": self.pool.busy_count(),
+            "draining": self._draining.is_set(),
+            "pool": self.pool.stats(),
+            "node_counters": self.counters.snapshot(),
+        }
+        self.queue.write_node("worker", payload)
+
+    def _maybe_sweep(self) -> None:
+        now = self._clock()
+        if now - self._last_sweep < self.queue.lease_seconds:
+            return
+        self._last_sweep = now
+        self.queue.sweep()
+
+    # -- drain ------------------------------------------------------------------------
+
+    def drain(self, timeout: float = 30.0) -> dict:
+        """Graceful shutdown: finish what we can, requeue the rest.
+
+        Stops claiming immediately, keeps renewing + supervising until
+        in-flight jobs commit or ``timeout`` elapses, then releases the
+        remaining leases *without* a crash charge (the interruption is
+        ours, not the jobs') and stops the pool.  Returns a summary for
+        the CLI's exit log.
+        """
+        self._draining.set()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._inflight:
+                    break
+            self._renew_leases()
+            self._supervise()
+            self._heartbeat()
+            time.sleep(self.poll_interval)
+        with self._lock:
+            leftovers = dict(self._inflight)
+            self._inflight.clear()
+            self._inflight_entries.clear()
+        for claim in leftovers.values():
+            self.queue.release(claim)  # graceful: requeue, no crash charge
+            self.counters.inc("drained_releases")
+        self.pool.stop(kill_busy=True)
+        self._heartbeat(force=True)
+        self.stop()
+        return {
+            "requeued": len(leftovers),
+            "committed": self.counters.snapshot().get("committed", 0),
+        }
+
+    # -- introspection ----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        snapshot = self.counters.snapshot()
+        with self._lock:
+            inflight = len(self._inflight)
+        snapshot.update(
+            node=self.node_id,
+            inflight=inflight,
+            draining=self._draining.is_set(),
+            pool=self.pool.stats(),
+            queue=self.queue.metrics(),
+        )
+        return snapshot
+
+
+def queue_key_for(job) -> Optional[str]:
+    """The content-address for a job, or None when uncacheable — the
+    shared helper frontends use when appending intake records."""
+    try:
+        return cache_key(job)
+    except UncacheableJob:
+        return None

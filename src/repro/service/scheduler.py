@@ -355,6 +355,10 @@ class JobScheduler:
         self._running = 0
         self._inflight: Dict[str, str] = {}     # cache key -> primary job id
         self._followers: Dict[str, List[str]] = {}  # primary id -> dedup ids
+        # Client idempotency tokens -> job ids, bounded FIFO.  A POST
+        # retried after a dropped response replays the same token and
+        # gets the original record back instead of a second enqueue.
+        self._tokens: Dict[str, str] = {}
         self._closed = False
         self._halt = False
         self._pool: Optional[ProcessWorkerPool] = None
@@ -394,6 +398,7 @@ class JobScheduler:
         job: SweepJob,
         priority: int = 0,
         tenant: str = "default",
+        token: Optional[str] = None,
         _internal: bool = False,
     ) -> JobRecord:
         """Admit one job; returns its record (possibly already terminal).
@@ -415,6 +420,11 @@ class JobScheduler:
             if self._closed:
                 self.counters.inc("rejected_closed")
                 raise SchedulerClosed("scheduler is shutting down")
+            if token is not None:
+                existing = self._tokens.get(token)
+                if existing is not None and existing in self._records:
+                    self.counters.inc("token_dedup")
+                    return self._records[existing]
             self.counters.inc("submitted")
             tstats = self._tenants.setdefault(
                 tenant, {"submitted": 0, "rate_limited": 0, "shed": 0}
@@ -433,6 +443,7 @@ class JobScheduler:
                     record.finished_at = time.time()
                     self.counters.inc("cache_hits")
                     self._records[record.id] = record
+                    self._remember_token(token, record.id)
                     return record
             if key is not None and key in self._inflight:
                 primary_id = self._inflight[key]
@@ -446,6 +457,7 @@ class JobScheduler:
                     self._followers.setdefault(primary_id, []).append(record.id)
                 self.counters.inc("deduped")
                 self._records[record.id] = record
+                self._remember_token(token, record.id)
                 return record
             if not _internal:
                 self._check_admission(tenant, tstats, priority)
@@ -457,6 +469,7 @@ class JobScheduler:
                     retry_after=self._retry_after_hint(),
                 )
             self._records[record.id] = record
+            self._remember_token(token, record.id)
             if key is not None:
                 self._inflight[key] = record.id
             if self.journal is not None:
@@ -527,6 +540,20 @@ class JobScheduler:
     def _next_id(self) -> str:
         self._seq += 1
         return f"j{self._run_nonce}-{self._seq:06d}"
+
+    #: Bound on the idempotency-token map; tokens guard the retry window
+    #: of one POST (seconds), so a FIFO of the last few thousand is ample.
+    MAX_TOKENS = 4096
+
+    def _remember_token(self, token: Optional[str], job_id: str) -> None:
+        """Map an idempotency token to its admitted job (caller holds
+        the lock); only paths that stored a record may register one —
+        a rejected submission must stay retryable under its token."""
+        if token is None:
+            return
+        while len(self._tokens) >= self.MAX_TOKENS:
+            self._tokens.pop(next(iter(self._tokens)))
+        self._tokens[token] = job_id
 
     # -- cache access through the circuit breaker ------------------------------------
 

@@ -30,21 +30,30 @@ from __future__ import annotations
 import json
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro._version import __version__
-from repro.service.cache import DEFAULT_MAX_BYTES, ResultCache
+from repro.service.cache import (
+    DEFAULT_MAX_BYTES,
+    ResultCache,
+    UncacheableJob,
+    cache_key,
+)
 from repro.service.journal import JobJournal
+from repro.service.queue import DurableQueue
 from repro.service.scheduler import (
     BacklogFull,
     JobScheduler,
     RateLimited,
     SchedulerClosed,
+    TERMINAL_STATES,
     UnknownJob,
     job_from_dict,
+    job_to_dict,
 )
 from repro.telemetry.metrics import CounterSet
 
@@ -107,8 +116,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             elif url.path == "/metricsz":
                 self._reply(200, self.service.metrics())
             elif len(parts) == 2 and parts[0] == "status":
-                record = self.service.scheduler.record(parts[1])
-                self._reply(200, record.to_dict(include_result=False))
+                self._reply(200, self.service.status_payload(parts[1]))
             elif len(parts) == 2 and parts[0] == "result":
                 self._get_result(parts[1], parse_qs(url.query))
             else:
@@ -124,12 +132,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             float(query.get("timeout", [str(MAX_RESULT_WAIT)])[0]),
             MAX_RESULT_WAIT,
         )
-        self.service.scheduler.result(job_id, wait=wait, timeout=timeout)
-        record = self.service.scheduler.record(job_id)
-        if not record.terminal:
-            self._reply(202, record.to_dict(include_result=False))
-            return
-        self._reply(200, record.to_dict(include_result=True))
+        status, payload = self.service.result_payload(
+            job_id, wait=wait, timeout=timeout
+        )
+        self._reply(status, payload)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self.service.counters.inc("requests")
@@ -167,15 +173,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def _admit(self, payload: dict) -> dict:
-        job = job_from_dict(payload)
-        priority = int(payload.get("priority") or 0)
-        tenant = payload.get("tenant") or "default"
-        if not isinstance(tenant, str):
-            raise ValueError("tenant must be a string")
-        record = self.service.scheduler.submit(
-            job, priority=priority, tenant=tenant
-        )
-        return record.to_dict(include_result=False)
+        return self.service.admit(payload)
 
     def _admit_soft(self, payload) -> dict:
         """Batch admission: one bad/rejected job never poisons the rest."""
@@ -204,6 +202,20 @@ class ReproService:
     :attr:`address`) — the test-friendly default.  Use :meth:`start` for
     a background server (tests, notebooks) or :meth:`serve_forever` for
     a foreground one (the ``python -m repro serve`` CLI).
+
+    Two execution modes behind one API:
+
+    * **single-node** (default): the PR-6 stack — in-process
+      :class:`JobScheduler` on a supervised worker pool, WAL, quotas.
+    * **fleet frontend** (``queue_dir=...``): the frontend is
+      *stateless*.  Admission appends an intake record to the shared
+      :class:`~repro.service.queue.DurableQueue`; execution happens on
+      whatever ``python -m repro work`` nodes share the directory, and
+      status/result reads come straight from the queue's durable state
+      — so any frontend can answer for any job, and ``kill -9`` of a
+      frontend loses nothing that was acknowledged.  ``/healthz`` and
+      ``/metricsz`` grow a fleet view: nodes alive, queue lag, oldest
+      unclaimed age, fenced-write rejections.
     """
 
     def __init__(
@@ -230,6 +242,10 @@ class ReproService:
         shed_watermark: float = 0.75,
         breaker_threshold: int = 5,
         breaker_cooldown: float = 30.0,
+        queue_dir: Optional[Union[str, Path]] = None,
+        node_id: Optional[str] = None,
+        lease_seconds: Optional[float] = None,
+        fsync: bool = True,
     ) -> None:
         self.counters = CounterSet()
         self.cache = (
@@ -237,6 +253,82 @@ class ReproService:
             if cache_dir is not None
             else None
         )
+        self.max_backlog = max_backlog
+        self.queue: Optional[DurableQueue] = None
+        self.scheduler: Optional[JobScheduler] = None
+        self.journal: Optional[JobJournal] = None
+        self._hb_stop = threading.Event()
+        self._hb_thread: Optional[threading.Thread] = None
+        if queue_dir is not None:
+            self._init_frontend(
+                queue_dir, node_id=node_id, lease_seconds=lease_seconds,
+                max_job_crashes=max_job_crashes, fsync=fsync,
+            )
+        else:
+            self._init_single_node(
+                cache_dir=cache_dir, workers=workers,
+                max_backlog=max_backlog, executor=executor, timeout=timeout,
+                retries=retries, backoff=backoff, spill_path=spill_path,
+                job_runner=job_runner, pool=pool, journal_path=journal_path,
+                max_job_crashes=max_job_crashes,
+                heartbeat_timeout=heartbeat_timeout, quota_rate=quota_rate,
+                quota_burst=quota_burst, quotas=quotas,
+                shed_watermark=shed_watermark,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown=breaker_cooldown,
+            )
+        handler = type("_BoundHandler", (_ServiceHandler,), {"service": self})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self._started_at = time.time()
+        self._serve_thread: Optional[threading.Thread] = None
+
+    def _init_frontend(
+        self,
+        queue_dir: Union[str, Path],
+        node_id: Optional[str],
+        lease_seconds: Optional[float],
+        max_job_crashes: int,
+        fsync: bool,
+    ) -> None:
+        """Fleet-frontend mode: no scheduler, no WAL — the shared queue
+        directory is the only durable state, so this process holds
+        nothing a ``kill -9`` could lose."""
+        from repro.service.queue import DEFAULT_LEASE_SECONDS
+
+        self.queue = DurableQueue(
+            queue_dir,
+            node_id=node_id or f"frontend-{uuid.uuid4().hex[:8]}",
+            lease_seconds=lease_seconds or DEFAULT_LEASE_SECONDS,
+            max_job_crashes=max_job_crashes,
+            fsync=fsync,
+        )
+        self._admit_lock = threading.Lock()
+        self.recovery = {"recovered": 0}
+        self.recovered = 0
+        self._hb_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name="repro-frontend-heartbeat",
+            daemon=True,
+        )
+        self._hb_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        interval = min(self.queue.node_ttl / 3.0, 2.0)
+        while not self._hb_stop.is_set():
+            try:
+                self.queue.write_node("frontend", {
+                    "requests": self.counters.snapshot().get("requests", 0),
+                })
+            except OSError:  # pragma: no cover - disk hiccup; retry next beat
+                pass
+            self._hb_stop.wait(interval)
+
+    def _init_single_node(self, cache_dir, workers, max_backlog, executor,
+                          timeout, retries, backoff, spill_path, job_runner,
+                          pool, journal_path, max_job_crashes,
+                          heartbeat_timeout, quota_rate, quota_burst, quotas,
+                          shed_watermark, breaker_threshold,
+                          breaker_cooldown) -> None:
         if spill_path is None and cache_dir is not None:
             spill_path = Path(cache_dir) / "pending-jobs.jsonl"
         if journal_path is None and cache_dir is not None:
@@ -265,10 +357,6 @@ class ReproService:
             breaker_threshold=breaker_threshold,
             breaker_cooldown=breaker_cooldown,
         )
-        handler = type("_BoundHandler", (_ServiceHandler,), {"service": self})
-        self.httpd = ThreadingHTTPServer((host, port), handler)
-        self._started_at = time.time()
-        self._serve_thread: Optional[threading.Thread] = None
         # Recovery before the first request lands: the WAL carries every
         # accepted-but-unfinished job across a *hard* crash; the legacy
         # JSONL spill file carries graceful-drain leftovers from
@@ -315,21 +403,156 @@ class ReproService:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
             self._serve_thread = None
+        if self.queue is not None:
+            self._hb_stop.set()
+            if self._hb_thread is not None:
+                self._hb_thread.join(timeout=5.0)
+            self.queue.write_node("frontend", {"stopped": True})
+            return {"mode": "frontend"}
         return self.scheduler.shutdown(drain=drain, timeout=timeout)
+
+    # -- admission (both modes) ------------------------------------------------------
+
+    def admit(self, payload: dict) -> dict:
+        """Validate and admit one submission payload; returns the job
+        record dict the HTTP layer serves back."""
+        job = job_from_dict(payload)
+        priority = int(payload.get("priority") or 0)
+        tenant = payload.get("tenant") or "default"
+        if not isinstance(tenant, str):
+            raise ValueError("tenant must be a string")
+        token = payload.get("token")
+        if token is not None and not isinstance(token, str):
+            raise ValueError("token must be a string")
+        if self.queue is not None:
+            return self._queue_admit(job, priority, tenant, token)
+        record = self.scheduler.submit(
+            job, priority=priority, tenant=tenant, token=token
+        )
+        return record.to_dict(include_result=False)
+
+    def _queue_admit(self, job, priority: int, tenant: str,
+                     token: Optional[str]) -> dict:
+        try:
+            key = cache_key(job)
+        except UncacheableJob:
+            key = None
+        with self._admit_lock:
+            if token is not None:
+                existing = self.queue.find_token(token)
+                if existing is not None:
+                    self.counters.inc("token_dedup")
+                    return self._queue_record(existing, include_result=False)
+            if self.queue.pending_count() >= self.max_backlog:
+                self.counters.inc("rejected_backlog")
+                raise BacklogFull(
+                    f"queue backlog full (>= {self.max_backlog} unclaimed); "
+                    f"retry once the fleet drains",
+                    retry_after=5.0,
+                )
+            entry = self.queue.append(
+                job_to_dict(job, priority, tenant),
+                priority=priority, tenant=tenant, token=token, key=key,
+            )
+            # Warm-cache fast path — committed under the new id so *any*
+            # frontend can serve the result (frontends stay stateless).
+            if key is not None and self.cache is not None:
+                try:
+                    hit = self.cache.get(key)
+                except Exception:
+                    hit = None
+                if hit is not None:
+                    self.counters.inc("cache_hits")
+                    self.queue.commit_unclaimed(
+                        entry.id, hit.to_dict(), state="done", key=key,
+                        cached=True,
+                    )
+            return self._queue_record(entry.id, include_result=False)
+
+    # -- lookups (both modes) --------------------------------------------------------
+
+    def status_payload(self, job_id: str) -> dict:
+        if self.queue is not None:
+            return self._queue_record(job_id, include_result=False)
+        return self.scheduler.record(job_id).to_dict(include_result=False)
+
+    def result_payload(
+        self, job_id: str, wait: bool, timeout: float
+    ) -> Tuple[int, dict]:
+        """(status code, payload) for ``GET /result/ID``: 200 with the
+        result once terminal, 202 with the bare record while pending."""
+        if self.queue is not None:
+            record = self._queue_record(job_id, include_result=False)
+            if record["state"] not in TERMINAL_STATES and wait:
+                self.queue.wait_settled(job_id, timeout=timeout)
+                record = self._queue_record(job_id, include_result=False)
+            if record["state"] not in TERMINAL_STATES:
+                return 202, record
+            return 200, self._queue_record(job_id, include_result=True)
+        self.scheduler.result(job_id, wait=wait, timeout=timeout)
+        record = self.scheduler.record(job_id)
+        if not record.terminal:
+            return 202, record.to_dict(include_result=False)
+        return 200, record.to_dict(include_result=True)
+
+    def _queue_record(self, job_id: str, include_result: bool) -> dict:
+        """A job record dict, in the same shape ``JobRecord.to_dict``
+        serves, built from the queue's durable state."""
+        info = self.queue.lookup(job_id)
+        if info is None:
+            raise UnknownJob(job_id)
+        record = {
+            "id": job_id,
+            "state": info["state"],
+            "cached": bool(info.get("cached")),
+            "deduped": bool(info.get("deduped")),
+            "tenant": info.get("tenant", "default"),
+            "priority": info.get("priority", 0),
+            "node": info.get("node"),
+            "epoch": info.get("epoch", 0),
+            "submitted_at": info.get("submitted_at"),
+            "finished_at": info.get("finished_at"),
+        }
+        if include_result:
+            envelope = self.queue.read_result(job_id)
+            record["result"] = (
+                envelope.get("result") if envelope is not None else None
+            )
+        return record
 
     # -- payload builders ------------------------------------------------------------
 
     def health(self) -> dict:
-        scheduler = self.scheduler
         payload = {
             "status": "ok",
             "version": __version__,
             "uptime_s": round(time.time() - self._started_at, 3),
             "recovered_jobs": self.recovered,
-            "pool": scheduler.pool,
-            "queue_depth": scheduler._queued,
-            "breaker": scheduler.cache_breaker.state,
+            "mode": "frontend" if self.queue is not None else "single",
         }
+        if self.queue is not None:
+            queue_metrics = self.queue.metrics()
+            fleet = self.queue.fleet()
+            payload.update(
+                queue_depth=queue_metrics["pending"],
+                queue_running=queue_metrics["running"],
+                oldest_unclaimed_age_s=queue_metrics[
+                    "oldest_unclaimed_age_s"
+                ],
+                nodes_alive=fleet["nodes_alive"],
+                workers_alive=fleet["workers_alive"],
+                frontends_alive=fleet["frontends_alive"],
+                fenced_rejections=fleet["totals"].get(
+                    "fenced_rejections", 0
+                ),
+            )
+            return payload
+        scheduler = self.scheduler
+        payload.update(
+            pool=scheduler.pool,
+            queue_depth=scheduler._queued,
+            breaker=scheduler.cache_breaker.state,
+        )
         if scheduler._pool is not None:
             payload["workers_alive"] = scheduler._pool.alive_count()
             payload["workers"] = scheduler._pool.size
@@ -339,9 +562,14 @@ class ReproService:
         return payload
 
     def metrics(self) -> dict:
-        return {
+        payload = {
             "version": __version__,
             "server": self.counters.snapshot(),
-            "scheduler": self.scheduler.metrics(),
             "cache": self.cache.stats() if self.cache is not None else None,
         }
+        if self.queue is not None:
+            payload["queue"] = self.queue.metrics()
+            payload["fleet"] = self.queue.fleet()
+        else:
+            payload["scheduler"] = self.scheduler.metrics()
+        return payload

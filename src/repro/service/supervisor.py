@@ -373,6 +373,11 @@ class ProcessWorkerPool:
     def busy_pids(self) -> List[int]:
         return [w.pid for w in self._workers if w.busy and w.pid is not None]
 
+    def busy_jobs(self) -> List[Tuple[str, SweepJob]]:
+        """``(job_id, job)`` for every in-flight job — what a draining
+        node must requeue (release its leases) before exiting."""
+        return [(w.job_id, w.job) for w in self._workers if w.busy]
+
     def stats(self) -> dict:
         snapshot = self.counters.snapshot()
         snapshot.update(

@@ -13,6 +13,7 @@ Kill-once semantics use sentinel *files* because in-memory flags reset
 with every respawned worker.
 """
 
+import itertools
 import json
 import os
 import signal
@@ -492,6 +493,8 @@ class TestCrashNeverCorruptsCache:
         except ImportError:  # pragma: no cover - hypothesis not installed
             pytest.skip("hypothesis unavailable")
 
+        runs = itertools.count()
+
         @settings(
             max_examples=4,
             deadline=None,
@@ -499,7 +502,11 @@ class TestCrashNeverCorruptsCache:
         )
         @given(delay=st.floats(min_value=0.0, max_value=0.2), seed=st.integers(0, 3))
         def property_holds(delay, seed):
-            cache_dir = tmp_path / f"cache-{delay:.3f}-{seed}"
+            # One cache dir per *execution*, not per example value:
+            # hypothesis re-runs identical examples (database replay,
+            # shrinking), and a reused dir turns the second run into a
+            # warm-cache hit that never dispatches a worker.
+            cache_dir = tmp_path / f"cache-{next(runs)}"
             cache = ResultCache(cache_dir)
             scheduler = JobScheduler(
                 cache=cache, workers=1, pool="process", max_job_crashes=3
