@@ -4,6 +4,14 @@ Unlike the figure benchmarks (which regenerate *paper* numbers), this one
 measures the *simulator*: simulated cycles per wall-clock second with
 telemetry off, the same with telemetry on (so the subsystem's overhead is
 a recorded number, not a claim), and sampled per-stage wall-time shares.
+
+The document is a multi-config trajectory: a ``cells`` map measures every
+(config, policy, engine) combination in the grid below, each cell its own
+regression gate, and a bounded ``history`` list records how the numbers
+moved across runs.  Both the reference and the fast engine are measured —
+and because they are lockstep-equivalent, their simulated cycle counts
+must agree exactly, which this benchmark also asserts.
+
 The result is written to ``BENCH_swque.json`` at the repo root — the
 committed copy is the performance baseline future hot-path changes are
 judged against.
@@ -13,8 +21,8 @@ Environment knobs (both default off):
 ``BENCH_SMOKE=1``
     Short run (8k instructions, one repeat) for CI smoke jobs.
 ``BENCH_CHECK_BASELINE=1``
-    Fail if the freshly measured telemetry-off rate regressed more than
-    30% below the previously committed ``BENCH_swque.json``.  Only
+    Fail if any freshly measured cell regressed more than 30% below the
+    same cell in the previously committed ``BENCH_swque.json``.  Only
     meaningful on hardware comparable to the baseline's recorder, which
     is why it is opt-in.
 """
@@ -26,6 +34,7 @@ import os
 import pathlib
 
 from bench_util import record
+from repro.config import get_config
 from repro.telemetry import (
     Telemetry,
     TelemetryConfig,
@@ -37,8 +46,13 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "BENCH_swque.json"
 
 #: Fractional cycles/sec loss vs the committed baseline that fails the
-#: gated check (0.30 = fail when more than 30% slower).
+#: gated check (0.30 = fail when more than 30% slower), per cell.
 REGRESSION_TOLERANCE = 0.30
+
+#: The (config, policy) grid each engine is measured on.
+GRID_CONFIGS = ("small", "medium")
+GRID_POLICIES = ("circ", "swque")
+ENGINES = ("reference", "fast")
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 CHECK_BASELINE = os.environ.get("BENCH_CHECK_BASELINE") == "1"
@@ -56,17 +70,28 @@ def _load_committed_baseline() -> dict:
 
 def test_throughput():
     num_instructions = 8_000 if SMOKE else 30_000
-    repeats = 1 if SMOKE else 3
+    repeats = 1 if SMOKE else 2
     committed = _load_committed_baseline()
 
-    # The headline baseline runs unperturbed — no telemetry, no stage
-    # profiler; the per-stage shares come from a separate profiled run.
-    baseline = measure_throughput(
-        "exchange2",
-        "swque",
-        num_instructions=num_instructions,
-        repeats=repeats,
-    )
+    # Full trajectory grid: every (config, policy, engine) cell runs
+    # unperturbed — no telemetry, no stage profiler.
+    cells = {}
+    for config_name in GRID_CONFIGS:
+        config = get_config(config_name)
+        for policy in GRID_POLICIES:
+            for engine in ENGINES:
+                result = measure_throughput(
+                    "exchange2",
+                    policy,
+                    config=config,
+                    num_instructions=num_instructions,
+                    repeats=repeats,
+                    fast=(engine == "fast"),
+                )
+                cells[result.cell_key] = result
+
+    # The headline baseline is the paper-default cell.
+    baseline = cells["medium/swque/reference"]
     with_telemetry = measure_throughput(
         "exchange2",
         "swque",
@@ -83,7 +108,12 @@ def test_throughput():
     )
 
     payload = bench_payload(
-        baseline, with_telemetry, smoke=SMOKE, stage_shares=staged.stage_shares
+        baseline,
+        with_telemetry,
+        smoke=SMOKE,
+        stage_shares=staged.stage_shares,
+        cells=cells,
+        history=committed.get("history"),
     )
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     record("throughput", payload)
@@ -96,10 +126,41 @@ def test_throughput():
     assert staged.cycles == baseline.cycles
     assert abs(sum(staged.stage_shares.values()) - 1.0) < 1e-6
 
-    if CHECK_BASELINE and committed.get("cycles_per_sec"):
-        floor = (1.0 - REGRESSION_TOLERANCE) * committed["cycles_per_sec"]
-        assert baseline.cycles_per_sec >= floor, (
-            f"simulator throughput regressed: {baseline.cycles_per_sec:.0f} "
-            f"cycles/sec vs committed baseline "
-            f"{committed['cycles_per_sec']:.0f} (floor {floor:.0f})"
-        )
+    # The fast engine is lockstep-equivalent to the reference: per
+    # (config, policy) the simulated cycle counts must agree exactly.
+    for config_name in GRID_CONFIGS:
+        for policy in GRID_POLICIES:
+            ref = cells[f"{config_name}/{policy}/reference"]
+            fast = cells[f"{config_name}/{policy}/fast"]
+            assert fast.cycles == ref.cycles, (
+                f"{config_name}/{policy}: fast engine simulated "
+                f"{fast.cycles} cycles, reference {ref.cycles}"
+            )
+
+    if CHECK_BASELINE:
+        committed_cells = committed.get("cells", {})
+        if committed_cells:
+            # Per-cell gate: each (config, policy, engine) cell is judged
+            # against its own committed baseline.
+            failures = []
+            for key, result in cells.items():
+                prior = committed_cells.get(key, {}).get("cycles_per_sec")
+                if not prior:
+                    continue  # new cell: nothing to regress against
+                floor = (1.0 - REGRESSION_TOLERANCE) * prior
+                if result.cycles_per_sec < floor:
+                    failures.append(
+                        f"{key}: {result.cycles_per_sec:.0f} cycles/sec vs "
+                        f"committed {prior:.0f} (floor {floor:.0f})"
+                    )
+            assert not failures, "simulator throughput regressed:\n" + "\n".join(
+                failures
+            )
+        elif committed.get("cycles_per_sec"):
+            # Legacy single-cell document: gate the headline cell only.
+            floor = (1.0 - REGRESSION_TOLERANCE) * committed["cycles_per_sec"]
+            assert baseline.cycles_per_sec >= floor, (
+                f"simulator throughput regressed: {baseline.cycles_per_sec:.0f} "
+                f"cycles/sec vs committed baseline "
+                f"{committed['cycles_per_sec']:.0f} (floor {floor:.0f})"
+            )

@@ -148,6 +148,21 @@ class ProcessorConfig:
 #: Table 2 / Table 4 "Medium" column: the paper's default processor.
 MEDIUM = ProcessorConfig()
 
+#: Table 4 "Small" column: narrower pipeline, halved window structures.
+SMALL = replace(
+    MEDIUM,
+    name="small",
+    width=4,
+    issue_width=4,
+    rob_entries=128,
+    iq_entries=64,
+    lsq_entries=64,
+    int_regs=128,
+    fp_regs=128,
+    num_ialu=2,
+    num_fpu=1,
+)
+
 #: Table 4 "Large" column: scaled window, width, and function units.
 LARGE = replace(
     MEDIUM,
@@ -166,7 +181,7 @@ LARGE = replace(
 
 #: Named reference configurations addressable over the wire (the service
 #: API and job spill files refer to configs by name, never by value).
-CONFIGS = {"medium": MEDIUM, "large": LARGE}
+CONFIGS = {"small": SMALL, "medium": MEDIUM, "large": LARGE}
 
 
 def get_config(name: str) -> ProcessorConfig:

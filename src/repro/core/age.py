@@ -101,11 +101,15 @@ class AgeQueue(RandomQueue):
 
     def ordered_ready(self) -> List[DynInst]:
         """Position order, with age-matrix winners promoted to the front."""
-        ordered = sorted(self.ready, key=lambda i: i.iq_slot)
+        ordered = super().ordered_ready()  # slot order via the ready matrix
         if len(ordered) <= 1:
             return ordered
         if self._buckets is None:
-            winners = [min(ordered, key=lambda i: i.seq)]
+            winner = ordered[0]
+            for inst in ordered:
+                if inst.seq < winner.seq:
+                    winner = inst
+            winners = [winner]
         else:
             best: Dict[int, DynInst] = {}
             for inst in ordered:

@@ -30,6 +30,30 @@ from repro.cpu.stats import PipelineStats
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cpu.fu import FunctionUnitPool
 
+#: Valid grant/structural guard modes (see :attr:`IssueQueue.guards`).
+GUARD_MODES = ("full", "sampled", "off")
+
+#: Sampled guards check one grant (or cycle) in ``GUARD_SAMPLE_PERIOD``.
+#: A power of two keeps the hot-path test a single AND.
+GUARD_SAMPLE_PERIOD = 64
+
+
+def insts_by_slot(mask: int, slots, base: int = 0, out=None) -> List[DynInst]:
+    """Expand a slot bitmask into instructions, ascending slot order.
+
+    ``mask`` bit ``i`` selects ``slots[i + base]``.  Since slot numbers are
+    unique this is exactly ``sorted(key=iq_slot)`` of the selected entries,
+    without the sort or the per-element key call.
+    """
+    if out is None:
+        out = []
+    append = out.append
+    while mask:
+        low = mask & -mask
+        append(slots[low.bit_length() - 1 + base])
+        mask ^= low
+    return out
+
 
 class InvariantViolation(RuntimeError):
     """A structural invariant of the pipeline or an issue queue broke.
@@ -88,6 +112,11 @@ class IssueQueue(ABC):
         # Per-interval FLPI counters (reset by the SWQUE controller).
         self.interval_issues = 0
         self.interval_low_issues = 0
+        #: Grant-guard mode: "full" checks every grant, "sampled" one in
+        #: :data:`GUARD_SAMPLE_PERIOD`, "off" none.  Set by the pipeline
+        #: (full when a fault injector is attached, sampled otherwise).
+        self.guards = "full"
+        self._guard_grants = 0
 
     # -- dispatch ------------------------------------------------------------------
 
@@ -128,42 +157,63 @@ class IssueQueue(ABC):
         if not self.ready:
             return []
         self.stats.iq_select_ops += 1
+        width = self.issue_width
+        try_claim = fu_pool.try_claim
         granted: List[DynInst] = []
+        append = granted.append
         for inst in self.ordered_ready():
-            if len(granted) >= self.issue_width:
-                break
-            if fu_pool.try_claim(inst, cycle):
-                granted.append(inst)
+            if try_claim(inst, cycle):
+                append(inst)
+                if len(granted) >= width:
+                    break
         self._commit_grants(granted)
         return granted
 
+    def _guard_grant(self, inst: DynInst) -> None:
+        """The per-grant invariant checks (the guard layer's grant half).
+
+        Run for every grant in "full" mode, for one grant in
+        :data:`GUARD_SAMPLE_PERIOD` in "sampled" mode, never in "off".
+        The checks are side-effect free, so sampling them cannot change
+        simulation behaviour on a healthy run.
+        """
+        if inst.issued:
+            raise InvariantViolation(
+                "double-issue", f"instruction #{inst.seq} granted twice"
+            )
+        if inst.pending_sources:
+            raise InvariantViolation(
+                "issue-unready",
+                f"instruction #{inst.seq} granted with "
+                f"{inst.pending_sources} unresolved sources",
+            )
+        if inst.squashed:
+            raise InvariantViolation(
+                "issue-squashed",
+                f"squashed instruction #{inst.seq} granted",
+            )
+
     def _commit_grants(self, granted: Iterable[DynInst]) -> None:
         """Account for and remove a cycle's granted instructions."""
+        guards = self.guards
+        stats = self.stats
+        low_region_start = self.low_region_start
         for inst in granted:
-            if inst.issued:
-                raise InvariantViolation(
-                    "double-issue", f"instruction #{inst.seq} granted twice"
-                )
-            if inst.pending_sources:
-                raise InvariantViolation(
-                    "issue-unready",
-                    f"instruction #{inst.seq} granted with "
-                    f"{inst.pending_sources} unresolved sources",
-                )
-            if inst.squashed:
-                raise InvariantViolation(
-                    "issue-squashed",
-                    f"squashed instruction #{inst.seq} granted",
-                )
+            if guards == "full":
+                self._guard_grant(inst)
+            elif guards == "sampled":
+                self._guard_grants += 1
+                if not self._guard_grants & (GUARD_SAMPLE_PERIOD - 1):
+                    self._guard_grant(inst)
             rank = self.priority_rank(inst)
             self.interval_issues += 1
-            if rank >= self.low_region_start:
+            if rank >= low_region_start:
                 self.interval_low_issues += 1
-                self.stats.low_region_issues += 1
+                stats.low_region_issues += 1
             self.ready.remove(inst)
             self.remove(inst)
-            self.stats.iq_tag_ram_reads += 1
-            self.stats.iq_payload_reads += 1
+            stats.iq_tag_ram_reads += 1
+            stats.iq_payload_reads += 1
 
     # -- maintenance ---------------------------------------------------------------
 
@@ -184,6 +234,28 @@ class IssueQueue(ABC):
     def tick(self, cycle: int) -> None:
         """Per-cycle hook; default records occupancy for utilization stats."""
         self.stats.iq_occupancy_sum += self.occupancy
+
+    def tick_bulk(self, cycles: int) -> None:
+        """Equivalent of ``cycles`` consecutive :meth:`tick` calls.
+
+        Used by the fast engine when it skips a dead stretch: occupancy is
+        constant across skipped cycles (nothing dispatches or issues), so
+        the per-cycle accumulation collapses to one multiply.
+        """
+        self.stats.iq_occupancy_sum += self.occupancy * cycles
+
+    @property
+    def quiescent(self) -> bool:
+        """True when :meth:`select` is guaranteed to be a side-effect-free
+        no-op this cycle (and every following cycle until a wakeup,
+        dispatch, eviction, or flush changes the queue).
+
+        The fast engine may only skip a cycle when this holds: a quiescent
+        queue issues nothing, mutates nothing, and bumps no counters.
+        Subclasses with extra select-path state (CIRC-PC's pending RV
+        grants, HSW's mover, OLDQ's rearranger) must extend this.
+        """
+        return not self.ready
 
     def check_invariants(self) -> None:
         """Cheap structural self-check; raise :class:`InvariantViolation`.

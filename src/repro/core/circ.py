@@ -20,10 +20,13 @@ select logic magically sees the true age order.  The paper's CIRC-PC
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import List, Optional
 
-from repro.core.base import IssueQueue
+from repro.core.base import IssueQueue, insts_by_slot
 from repro.cpu.dyninst import DynInst
+
+_SLOT_KEY = attrgetter("iq_slot")
 
 
 class CircularQueue(IssueQueue):
@@ -38,6 +41,11 @@ class CircularQueue(IssueQueue):
         # virtual position v is v % size.  The allocated region is [vh, vt).
         self._vh = 0
         self._vt = 0
+        #: Ready matrix: bit ``s`` set iff the entry in slot ``s`` is ready.
+        self._ready_mask = 0
+        #: Reverse-flag matrix: bit ``s`` set iff the entry in slot ``s``
+        #: was dispatched with its reverse flag set (ready or not).
+        self._rv_mask = 0
 
     # -- geometry helpers ---------------------------------------------------------
 
@@ -82,16 +90,29 @@ class CircularQueue(IssueQueue):
         # The reverse flag is set at dispatch time when the instruction is
         # written on the far side of the wrap-around point (Figure 5).
         inst.reverse_flag = slot < self.head_slot
+        if inst.reverse_flag:
+            self._rv_mask |= 1 << slot
         inst.in_iq = True
         self._vt += 1
         self.occupancy += 1
+
+    # -- wakeup-select ---------------------------------------------------------------
+
+    def wakeup(self, inst: DynInst) -> None:
+        self.ready.append(inst)
+        self._ready_mask |= 1 << inst.iq_slot
 
     # -- priority ------------------------------------------------------------------
 
     def ordered_ready(self) -> List[DynInst]:
         # Position-based select logic, oblivious to wrap-around: this is
         # exactly the reversed-priority problem of Section 3.1.1.
-        return sorted(self.ready, key=lambda i: i.iq_slot)
+        mask = self._ready_mask
+        if bin(mask).count("1") == len(self.ready):
+            return insts_by_slot(mask, self._slots)
+        # Matrix out of sync with the ready list (fault injection writes
+        # the list directly): legacy scan so the bad entry still issues.
+        return sorted(self.ready, key=_SLOT_KEY)
 
     def priority_rank(self, inst: DynInst) -> int:
         return inst.iq_slot
@@ -103,6 +124,9 @@ class CircularQueue(IssueQueue):
         if slot < 0 or self._slots[slot] is not inst:
             raise KeyError(f"instruction #{inst.seq} not in CIRC queue")
         self._slots[slot] = None
+        bit = ~(1 << slot)
+        self._ready_mask &= bit
+        self._rv_mask &= bit
         inst.in_iq = False
         inst.iq_slot = -1
         self.occupancy -= 1
@@ -132,6 +156,8 @@ class CircularQueue(IssueQueue):
                 self._slots[slot] = None
         self._vh = 0
         self._vt = 0
+        self._ready_mask = 0
+        self._rv_mask = 0
         super().flush()
 
     # -- introspection ---------------------------------------------------------------
@@ -154,6 +180,17 @@ class CircularQueuePerfectPriority(CircularQueue):
     name = "circ-ppri"
 
     def ordered_ready(self) -> List[DynInst]:
+        # Age order = slot order rotated so the head slot comes first: the
+        # region is [vh, vt), so slots >= head_slot hold the pre-wrap (old)
+        # entries and slots < head_slot the post-wrap (young) ones, each
+        # group slot-ascending by construction.
+        mask = self._ready_mask
+        if bin(mask).count("1") == len(self.ready):
+            head = self.head_slot
+            out = insts_by_slot(mask >> head, self._slots, base=head)
+            if head:
+                insts_by_slot(mask & ((1 << head) - 1), self._slots, out=out)
+            return out
         return sorted(self.ready, key=lambda i: i.iq_vpos)
 
     def priority_rank(self, inst: DynInst) -> int:

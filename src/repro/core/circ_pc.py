@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from typing import List, TYPE_CHECKING
 
-from repro.core.circ import CircularQueue
+from repro.core.base import insts_by_slot
+from repro.core.circ import CircularQueue, _SLOT_KEY
 from repro.cpu.dyninst import DynInst
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -75,46 +76,74 @@ class CircPCQueue(CircularQueue):
     # -- the two-select, time-sliced issue path --------------------------------------
 
     def select(self, fu_pool: "FunctionUnitPool", cycle: int) -> List[DynInst]:
-        if not self.ready and not self._pending_rv:
+        ready = self.ready
+        pending = self._pending_rv
+        if not ready and not pending:
             return []
         self.stats.iq_select_ops += 1
-        pending_ids = {id(inst) for inst in self._pending_rv}
+        width = self.issue_width
+        try_claim = fu_pool.try_claim
+        slots = self._slots
         granted: List[DynInst] = []
+
+        # The mask fast path only applies while the ready matrix agrees
+        # with the ready list (fault injection writes the list directly).
+        mask_ok = bin(self._ready_mask).count("1") == len(ready)
 
         # S_NR: this cycle's NR instructions, position order.  Instructions
         # with a pending RV grant are excluded even if the wrap-around
         # signal has meanwhile dropped (their grant is already in flight).
-        nr_ready = [
-            inst
-            for inst in self.ready
-            if id(inst) not in pending_ids and not self._is_rv(inst)
-        ]
-        nr_ready.sort(key=lambda i: i.iq_slot)
+        if mask_ok:
+            nr_mask = self._ready_mask
+            if self.spans_wraparound:
+                nr_mask &= ~self._rv_mask
+            for inst in pending:
+                # A pending entry may have been squashed and its slot
+                # reused; only clear the bit while the slot is still its.
+                if inst.in_iq and slots[inst.iq_slot] is inst:
+                    nr_mask &= ~(1 << inst.iq_slot)
+            nr_ready = insts_by_slot(nr_mask, slots)
+        else:
+            pending_ids = {id(inst) for inst in pending}
+            nr_ready = [
+                inst
+                for inst in ready
+                if id(inst) not in pending_ids and not self._is_rv(inst)
+            ]
+            nr_ready.sort(key=_SLOT_KEY)
         for inst in nr_ready:
-            if len(granted) >= self.issue_width:
+            if len(granted) >= width:
                 break
-            if fu_pool.try_claim(inst, cycle):
+            if try_claim(inst, cycle):
                 granted.append(inst)
 
         # DTM merge: last cycle's RV grants fill the ports left over by the
         # NR grants (opposing alignment, NR wins).  Losing RV grants are
         # discarded -- the instructions stay put and request again below.
-        for inst in self._pending_rv:
-            if len(granted) >= self.issue_width:
+        for inst in pending:
+            if len(granted) >= width:
                 break
             if not inst.in_iq or inst.squashed:
                 continue
-            if fu_pool.try_claim(inst, cycle):
+            if try_claim(inst, cycle):
                 granted.append(inst)
 
         self._commit_grants(granted)
 
         # S_RV: select up to issue_width ready RV instructions for the next
-        # cycle's time-sliced tag RAM read.
-        rv_ready = [inst for inst in self.ready if self._is_rv(inst)]
+        # cycle's time-sliced tag RAM read.  Re-read the matrix here: the
+        # grants just committed moved head/tail, which can change both the
+        # ready bits and the wrapped-around signal.
+        if mask_ok:
+            rv_sel = (
+                self._ready_mask & self._rv_mask if self.spans_wraparound else 0
+            )
+            rv_ready = insts_by_slot(rv_sel, slots) if rv_sel else []
+        else:
+            rv_ready = [inst for inst in ready if self._is_rv(inst)]
+            rv_ready.sort(key=_SLOT_KEY)
         if rv_ready:
-            rv_ready.sort(key=lambda i: i.iq_slot)
-            self._pending_rv = rv_ready[: self.issue_width]
+            self._pending_rv = rv_ready[:width]
             self.stats.iq_select_rv_ops += 1
             # Every S_RV grant performs a time-sliced tag RAM read at the
             # start of the next cycle, whether or not it survives the merge.
@@ -122,6 +151,12 @@ class CircPCQueue(CircularQueue):
         else:
             self._pending_rv = []
         return granted
+
+    @property
+    def quiescent(self) -> bool:
+        # A pending RV grant still needs its DTM merge slot next cycle, so
+        # select() is only a guaranteed no-op once both queues are empty.
+        return not self.ready and not self._pending_rv
 
     # -- maintenance ---------------------------------------------------------------
 

@@ -124,32 +124,45 @@ class HierarchicalQueue(IssueQueue):
         if not self.ready:
             return []
         self.stats.iq_select_ops += 1
+        width = self.issue_width
+        try_claim = fu_pool.try_claim
         fast_ids = {id(i) for i in self._fast}
+        by_age = sorted(self.ready, key=lambda i: i.seq)
         granted: List[DynInst] = []
         # Fast queue: single-cycle scheduling, age order.
-        for inst in sorted(self.ready, key=lambda i: i.seq):
-            if len(granted) >= self.issue_width:
+        for inst in by_age:
+            if len(granted) >= width:
                 break
             if id(inst) not in fast_ids:
                 continue
-            if fu_pool.try_claim(inst, cycle):
+            if try_claim(inst, cycle):
                 granted.append(inst)
         # Slow queue: ready instructions issue only after the multi-cycle
         # scheduling loop.
-        for inst in sorted(self.ready, key=lambda i: i.seq):
-            if len(granted) >= self.issue_width:
+        slow_ready_at = self._slow_ready_at
+        for inst in by_age:
+            if len(granted) >= width:
                 break
             if id(inst) in fast_ids or any(inst is g for g in granted):
                 continue
-            ready_at = self._slow_ready_at.setdefault(
+            ready_at = slow_ready_at.setdefault(
                 inst.seq, cycle + self.SLOW_LATENCY
             )
             if cycle < ready_at:
                 continue
-            if fu_pool.try_claim(inst, cycle):
+            if try_claim(inst, cycle):
                 granted.append(inst)
         self._commit_grants(granted)
         return granted
+
+    @property
+    def quiescent(self) -> bool:
+        # select() always runs the mover first; with an empty ready set
+        # every slow-queue entry is non-ready, so the mover is a no-op only
+        # when the fast queue is full or the slow queue is empty.
+        return not self.ready and (
+            len(self._fast) >= self.fast_entries or not self._slow
+        )
 
     # -- removal / maintenance ---------------------------------------------------------
 

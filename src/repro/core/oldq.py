@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, TYPE_CHECKING
 
+from repro.core.base import insts_by_slot
 from repro.core.rand import RandomQueue
 from repro.cpu.dyninst import DynInst
 
@@ -57,9 +58,24 @@ class OldQueue(RandomQueue):
             self.stats.shift_compaction_moves += moved
 
     def ordered_ready(self) -> List[DynInst]:
-        old_ids = {id(i) for i in self._old}
         # Old-queue instructions first (age order among them), then the
         # main queue in position order.
+        old = self._old
+        if not old:
+            return super().ordered_ready()
+        mask = self._ready_mask
+        if bin(mask).count("1") == len(self.ready):
+            # _rearrange appends in ascending seq order and removals keep
+            # it, so filtering _old by readiness IS the age-sorted prefix.
+            out: List[DynInst] = []
+            old_mask = 0
+            for inst in old:
+                bit = 1 << inst.iq_slot
+                if mask & bit:
+                    out.append(inst)
+                    old_mask |= bit
+            return insts_by_slot(mask & ~old_mask, self._slots, out=out)
+        old_ids = {id(i) for i in old}
         return sorted(
             self.ready,
             key=lambda i: (id(i) not in old_ids,
@@ -75,6 +91,15 @@ class OldQueue(RandomQueue):
     def select(self, fu_pool: "FunctionUnitPool", cycle: int) -> List[DynInst]:
         self._rearrange()
         return super().select(fu_pool, cycle)
+
+    @property
+    def quiescent(self) -> bool:
+        # select() also runs the mover, which has work (and bumps move
+        # counters) whenever the old queue has room and the main queue
+        # still holds instructions outside it.
+        return not self.ready and (
+            len(self._old) >= self.OLD_ENTRIES or self.occupancy == len(self._old)
+        )
 
     def remove(self, inst: DynInst) -> None:
         for idx, candidate in enumerate(self._old):

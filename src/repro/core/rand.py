@@ -11,10 +11,13 @@ instructions are spread throughout a well-filled queue.
 from __future__ import annotations
 
 import heapq
+from operator import attrgetter
 from typing import List, Optional
 
-from repro.core.base import IssueQueue
+from repro.core.base import IssueQueue, insts_by_slot
 from repro.cpu.dyninst import DynInst
+
+_SLOT_KEY = attrgetter("iq_slot")
 
 
 class RandomQueue(IssueQueue):
@@ -27,6 +30,10 @@ class RandomQueue(IssueQueue):
         self._slots: List[Optional[DynInst]] = [None] * self.size
         self._free: List[int] = list(range(self.size))
         heapq.heapify(self._free)
+        #: Int-as-bitset ready matrix: bit ``s`` set iff ``_slots[s]`` is
+        #: in the ready set.  Lets ``ordered_ready`` iterate set bits in
+        #: slot order instead of sorting the ready list every cycle.
+        self._ready_mask = 0
 
     def can_dispatch(self) -> bool:
         return bool(self._free)
@@ -40,9 +47,19 @@ class RandomQueue(IssueQueue):
         inst.in_iq = True
         self.occupancy += 1
 
+    def wakeup(self, inst: DynInst) -> None:
+        self.ready.append(inst)
+        self._ready_mask |= 1 << inst.iq_slot
+
     def ordered_ready(self) -> List[DynInst]:
         # Position-based select logic: lower slot = higher priority.
-        return sorted(self.ready, key=lambda i: i.iq_slot)
+        mask = self._ready_mask
+        if bin(mask).count("1") == len(self.ready):
+            return insts_by_slot(mask, self._slots)
+        # Ready set and matrix disagree (a fault injected an entry behind
+        # the matrix's back): fall back to the full scan so the corrupted
+        # entry still reaches the grant guards.
+        return sorted(self.ready, key=_SLOT_KEY)
 
     def priority_rank(self, inst: DynInst) -> int:
         return inst.iq_slot
@@ -52,6 +69,7 @@ class RandomQueue(IssueQueue):
         if slot < 0 or self._slots[slot] is not inst:
             raise KeyError(f"instruction #{inst.seq} not in RAND queue")
         self._slots[slot] = None
+        self._ready_mask &= ~(1 << slot)
         heapq.heappush(self._free, slot)
         inst.in_iq = False
         inst.iq_slot = -1
@@ -65,4 +83,5 @@ class RandomQueue(IssueQueue):
                 self._slots[slot] = None
         self._free = list(range(self.size))
         heapq.heapify(self._free)
+        self._ready_mask = 0
         super().flush()

@@ -70,6 +70,10 @@ class SwitchingQueue(IssueQueue):
         # The paper's example (Figure 7) starts in CIRC-PC mode.
         self.mode = MODE_CIRC_PC
         self._active: IssueQueue = self._circ_pc
+        # Grants happen inside the sub-queues, so the guard mode chosen
+        # before they existed must reach them now.
+        self._circ_pc.guards = self._guards
+        self._age.guards = self._guards
         # Per-mode FLPI thresholds; the AGE one adapts (Section 3.2.3).
         self._flpi_threshold = {
             MODE_CIRC_PC: self.params.flpi_threshold,
@@ -122,12 +126,39 @@ class SwitchingQueue(IssueQueue):
         if "_active" in self.__dict__:
             self._active.ready = value
 
+    @property
+    def guards(self) -> str:  # type: ignore[override]
+        return self._guards
+
+    @guards.setter
+    def guards(self, value: str) -> None:
+        # Assigned by IssueQueue.__init__ before the sub-queues exist;
+        # the pipeline reassigns it later, which must reach both of them.
+        self._guards = value
+        if "_active" in self.__dict__:
+            self._circ_pc.guards = value
+            self._age.guards = value
+
     def tick(self, cycle: int) -> None:
         self.stats.iq_occupancy_sum += self.occupancy
         if self.mode == MODE_CIRC_PC:
             self.stats.cycles_in_circ_pc += 1
         else:
             self.stats.cycles_in_age += 1
+
+    def tick_bulk(self, cycles: int) -> None:
+        self.stats.iq_occupancy_sum += self.occupancy * cycles
+        if self.mode == MODE_CIRC_PC:
+            self.stats.cycles_in_circ_pc += cycles
+        else:
+            self.stats.cycles_in_age += cycles
+
+    @property
+    def quiescent(self) -> bool:
+        # A pending mode switch keeps the pipeline busy (it must flush),
+        # so only an idle active sub-queue with no switch in flight is
+        # safe to skip.
+        return not self._pending_switch and self._active.quiescent
 
     def check_invariants(self) -> None:
         """Base occupancy checks plus SWQUE mode-state consistency."""

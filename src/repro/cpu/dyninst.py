@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cpu.isa import OP_FU, OP_LATENCY, FuClass, OpClass
+from repro.cpu.isa import OP_FU, OP_LATENCY, UNPIPELINED
 from repro.cpu.trace import TraceInstruction
 
 
@@ -19,6 +19,11 @@ class DynInst:
 
     __slots__ = (
         "trace",
+        "seq",
+        "op",
+        "fu_class",
+        "base_latency",
+        "unpipelined",
         "dispatch_cycle",
         "issue_cycle",
         "complete_cycle",
@@ -43,6 +48,17 @@ class DynInst:
 
     def __init__(self, trace_inst: TraceInstruction, dispatch_cycle: int) -> None:
         self.trace = trace_inst
+        # Plain copies of the two hottest trace fields: sort keys, commit,
+        # and latency lookup all read them, and a slot load beats a
+        # property call by an order of magnitude.
+        self.seq = trace_inst.seq
+        op = self.op = trace_inst.op
+        # Resolve the ISA tables once at dispatch; try_claim and the
+        # execution-latency path would otherwise redo these lookups on
+        # every select attempt.
+        self.fu_class = OP_FU[op]
+        self.base_latency = OP_LATENCY[op]
+        self.unpipelined = op in UNPIPELINED
         self.dispatch_cycle = dispatch_cycle
         self.issue_cycle: Optional[int] = None
         self.complete_cycle: Optional[int] = None
@@ -72,22 +88,6 @@ class DynInst:
         self.needs_int_reg = dest is not None and dest < 32
 
     # -- convenience passthroughs -------------------------------------------------
-
-    @property
-    def seq(self) -> int:
-        return self.trace.seq
-
-    @property
-    def op(self) -> OpClass:
-        return self.trace.op
-
-    @property
-    def fu_class(self) -> FuClass:
-        return OP_FU[self.trace.op]
-
-    @property
-    def base_latency(self) -> int:
-        return OP_LATENCY[self.trace.op]
 
     @property
     def ready(self) -> bool:

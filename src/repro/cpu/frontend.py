@@ -31,6 +31,8 @@ from repro.memory.hierarchy import MemoryHierarchy
 _LINE_SHIFT = 6
 #: Wrong-path loads wander over this many bytes (cache pollution).
 _WRONG_PATH_FOOTPRINT_WORDS = 8 * 1024 // 8
+#: Bits ``Random._randbelow`` draws per rejection sample for the footprint.
+_WRONG_PATH_FOOTPRINT_BITS = _WRONG_PATH_FOOTPRINT_WORDS.bit_length()
 _WRONG_PATH_DATA_BASE = 0x80_0000
 
 
@@ -96,6 +98,19 @@ class FetchUnit:
                 return None
         return inst
 
+    def next_fetch_entry(self) -> Optional[TraceInstruction]:
+        """Side-effect-free peek at the next correct-path instruction.
+
+        Returns the entry only when it sits on the already-fetched I-cache
+        line, i.e. when :meth:`peek` would return it without touching the
+        cache.  Used by the fast engine's dead-cycle test; callers must
+        already have ruled out stall, wrong-path mode, and trace end.
+        """
+        inst = self.trace[self.fetch_seq]
+        if (inst.pc >> _LINE_SHIFT) != self._fetched_line:
+            return None
+        return inst
+
     def advance(self, cycle: int, inst: DynInst) -> bool:
         """Consume the peeked instruction; False ends this cycle's group."""
         if self.wrong_path_mode:
@@ -130,39 +145,78 @@ class FetchUnit:
         The PC reuses the mispredicted branch's line (wrong paths usually
         hit the I-cache); loads wander over a dedicated region, modelling
         wrong-path cache pollution.
+
+        The register/address draws spell out ``randrange`` as the
+        underlying rejection-sampled ``getrandbits`` loop.  The sequence
+        of generator words consumed is identical (``randrange(a, b)`` is
+        ``a + _randbelow(b - a)``, and ``_randbelow(n)`` draws
+        ``n.bit_length()`` bits until the value falls below ``n``), so
+        the junk stream — and with it every seeded result — is unchanged;
+        only the per-call argument checking and method dispatch go away.
+        This is one of the hottest call sites in a mispredict-heavy run:
+        wrong-path synthesis outnumbers real instructions 2.5:1 on
+        exchange2.
         """
         rng = self._wp_rng
+        random = rng.random
+        getrandbits = rng.getrandbits
         branch = self.blocked_branch
         assert branch is not None
         pc = branch.trace.pc
         seq = self._wp_seq
-        roll = rng.random()
-        src = rng.randrange(1, 30)
+        roll = random()
+        r = getrandbits(5)          # randrange(1, 30)
+        while r >= 29:
+            r = getrandbits(5)
+        src = 1 + r
         if roll < 0.30:
-            addr = _WRONG_PATH_DATA_BASE + rng.randrange(_WRONG_PATH_FOOTPRINT_WORDS) * 8
+            r = getrandbits(_WRONG_PATH_FOOTPRINT_BITS)  # randrange(words)
+            while r >= _WRONG_PATH_FOOTPRINT_WORDS:
+                r = getrandbits(_WRONG_PATH_FOOTPRINT_BITS)
+            addr = _WRONG_PATH_DATA_BASE + r * 8
             # A third of wrong-path loads are ready at dispatch (roots).
-            load_srcs = () if rng.random() < 0.70 else (src,)
+            load_srcs = () if random() < 0.70 else (src,)
+            r = getrandbits(5)      # randrange(1, 30)
+            while r >= 29:
+                r = getrandbits(5)
             return TraceInstruction(
-                seq, OpClass.LOAD, pc, dest=rng.randrange(1, 30), srcs=load_srcs,
+                seq, OpClass.LOAD, pc, dest=1 + r, srcs=load_srcs,
                 mem_addr=addr,
             )
         if roll < 0.34:
             # Wrong-path branch; never predicted or resolved (junk).
             return TraceInstruction(seq, OpClass.BRANCH, pc, srcs=(src,))
         if roll < 0.40:
+            dest = getrandbits(5)   # randrange(28), twice
+            while dest >= 28:
+                dest = getrandbits(5)
+            s = getrandbits(5)
+            while s >= 28:
+                s = getrandbits(5)
             return TraceInstruction(
-                seq, OpClass.FPADD, pc, dest=33 + rng.randrange(28),
-                srcs=(33 + rng.randrange(28),),
+                seq, OpClass.FPADD, pc, dest=33 + dest, srcs=(33 + s,),
             )
         if roll < 0.46:
+            r = getrandbits(5)      # randrange(1, 30)
+            while r >= 29:
+                r = getrandbits(5)
             return TraceInstruction(
-                seq, OpClass.IMUL, pc, dest=rng.randrange(1, 30), srcs=(src,)
+                seq, OpClass.IMUL, pc, dest=1 + r, srcs=(src,)
             )
         # Plain integer op; a fraction are ready-at-dispatch roots, which
         # is what makes wrong-path work contend for issue slots.
-        alu_srcs = () if rng.random() < 0.65 else (src, rng.randrange(1, 30))
+        if random() < 0.65:
+            alu_srcs = ()
+        else:
+            r = getrandbits(5)      # randrange(1, 30)
+            while r >= 29:
+                r = getrandbits(5)
+            alu_srcs = (src, 1 + r)
+        r = getrandbits(5)          # randrange(1, 30)
+        while r >= 29:
+            r = getrandbits(5)
         return TraceInstruction(
-            seq, OpClass.IALU, pc, dest=rng.randrange(1, 30), srcs=alu_srcs
+            seq, OpClass.IALU, pc, dest=1 + r, srcs=alu_srcs
         )
 
     # -- resolution / recovery -------------------------------------------------------

@@ -13,7 +13,7 @@ from typing import Dict, List
 
 from repro.config import ProcessorConfig
 from repro.cpu.dyninst import DynInst
-from repro.cpu.isa import OP_LATENCY, UNPIPELINED, FuClass
+from repro.cpu.isa import FuClass
 
 
 class FunctionUnitPool:
@@ -34,30 +34,40 @@ class FunctionUnitPool:
         self._free_at: Dict[FuClass, List[int]] = {
             cls: [0] * n for cls, n in counts.items()
         }
+        #: All-zero prototype for the per-cycle usage reset (dict.copy is
+        #: one C call; a Python-level loop over the classes is not).
+        self._zero_used: Dict[FuClass, int] = {cls: 0 for cls in counts}
         #: Issue slots already used this cycle, per class.
-        self._used: Dict[FuClass, int] = {cls: 0 for cls in counts}
+        self._used: Dict[FuClass, int] = self._zero_used.copy()
         self._cycle = -1
 
     def new_cycle(self, cycle: int) -> None:
         """Reset the per-cycle issue-slot usage."""
         self._cycle = cycle
-        for cls in self._used:
-            self._used[cls] = 0
+        self._used = self._zero_used.copy()
 
     def available(self, fu_class: FuClass, cycle: int) -> int:
         """Units of ``fu_class`` that can still accept an op this cycle."""
-        free = sum(1 for t in self._free_at[fu_class] if t <= cycle)
+        free = 0
+        for t in self._free_at[fu_class]:
+            if t <= cycle:
+                free += 1
         return free - self._used[fu_class]
 
     def try_claim(self, inst: DynInst, cycle: int) -> bool:
         """Claim a unit for ``inst`` this cycle; False when none is free."""
         fu_class = inst.fu_class
-        if self.available(fu_class, cycle) <= 0:
+        used = self._used
+        free = 0
+        units = self._free_at[fu_class]
+        for t in units:
+            if t <= cycle:
+                free += 1
+        if free <= used[fu_class]:
             return False
-        self._used[fu_class] += 1
-        if inst.op in UNPIPELINED:
-            busy_until = cycle + OP_LATENCY[inst.op]
-            units = self._free_at[fu_class]
+        used[fu_class] += 1
+        if inst.unpipelined:
+            busy_until = cycle + inst.base_latency
             for idx, free_time in enumerate(units):
                 if free_time <= cycle:
                     units[idx] = busy_until
@@ -74,5 +84,4 @@ class FunctionUnitPool:
         for units in self._free_at.values():
             for idx in range(len(units)):
                 units[idx] = 0
-        for cls in self._used:
-            self._used[cls] = 0
+        self._used = self._zero_used.copy()

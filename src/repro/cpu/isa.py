@@ -15,6 +15,12 @@ from enum import Enum, unique
 class OpClass(Enum):
     """Operation class of a micro-op."""
 
+    # Members are process-wide singletons (pickle resolves back to the
+    # same object), so identity hashing is sound — and it keeps the
+    # OP_LATENCY/OP_FU lookups on the wakeup-select path out of the
+    # pure-Python Enum.__hash__.
+    __hash__ = object.__hash__
+
     IALU = "ialu"        # integer add/sub/logic/shift/compare
     IMUL = "imul"        # integer multiply
     IDIV = "idiv"        # integer divide (non-pipelined)
@@ -30,6 +36,8 @@ class OpClass(Enum):
 @unique
 class FuClass(Enum):
     """Function-unit class; counts per class come from the processor config."""
+
+    __hash__ = object.__hash__
 
     IALU = "ialu"
     IMULT = "imult"

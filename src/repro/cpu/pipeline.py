@@ -25,12 +25,17 @@ import time
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.config import ProcessorConfig
-from repro.core.base import InvariantViolation, IssueQueue
+from repro.core.base import (
+    GUARD_MODES,
+    GUARD_SAMPLE_PERIOD,
+    InvariantViolation,
+    IssueQueue,
+)
 from repro.cpu.branch import BranchUnit
 from repro.cpu.dyninst import DynInst
 from repro.cpu.frontend import FetchUnit
 from repro.cpu.fu import FunctionUnitPool
-from repro.cpu.isa import OP_LATENCY, OpClass
+from repro.cpu.isa import OpClass
 from repro.cpu.lsq import LoadStoreQueue
 from repro.cpu.rename import RenameUnit
 from repro.cpu.rob import ReorderBuffer
@@ -112,11 +117,18 @@ class Pipeline:
         faults: Optional["FaultInjector"] = None,
         oracle: Optional[GoldenModel] = None,
         watchdog_interval: Optional[int] = DEFAULT_WATCHDOG_INTERVAL,
+        guards: Optional[str] = None,
+        fast: bool = False,
     ) -> None:
         if watchdog_interval is not None and watchdog_interval <= 0:
             raise ValueError(
                 f"watchdog_interval must be positive (or None to disable), "
                 f"got {watchdog_interval}"
+            )
+        if guards is not None and guards not in GUARD_MODES:
+            raise ValueError(
+                f"guards must be one of {GUARD_MODES} (or None for the "
+                f"default), got {guards!r}"
             )
         self.trace = trace
         self.config = config
@@ -138,6 +150,24 @@ class Pipeline:
         self.faults = faults
         #: Optional golden-model lockstep hook (see :mod:`repro.verify.oracle`).
         self.oracle = oracle
+        #: Guard mode for the invariant layer.  The default is "full" when
+        #: a fault injector is attached (chaos tests need same-cycle
+        #: detection) and "sampled" otherwise (1 in
+        #: :data:`~repro.core.base.GUARD_SAMPLE_PERIOD`; the lockstep
+        #: oracle and commit digest still catch any semantic corruption).
+        self.guards = guards if guards is not None else (
+            "full" if faults is not None else "sampled"
+        )
+        iq.guards = self.guards
+        #: Fast engine: event-driven fast-forward over provably dead
+        #: cycles (see :meth:`_fast_forward`).  Proven equivalent to the
+        #: reference engine; disabled while a fault injector is attached
+        #: because injected corruption can revive a "dead" cycle.
+        self.fast = bool(fast) and faults is None
+        #: Fast-engine observability: jumps taken and cycles skipped.
+        #: Host-side only — never part of stats, digests, or results.
+        self.ff_jumps = 0
+        self.ff_skipped_cycles = 0
         #: Always-on streaming fingerprint of the commit stream.
         self.commit_digest = CommitDigest()
         #: Forward-progress watchdog horizon in cycles (None disables).
@@ -265,6 +295,8 @@ class Pipeline:
         cycle = self.cycle
         if self.faults is not None:
             self.faults.on_cycle(self, cycle)
+        elif self.fast and self._fast_forward(cycle):
+            return
         profiler = self.profiler
         if profiler is not None and cycle % profiler.sample_every == 0:
             self._step_stages_timed(cycle, profiler)
@@ -332,24 +364,152 @@ class Pipeline:
         profiler.record("guards", t6 - t5)
         profiler.sampled_cycles += 1
 
+    # -- fast engine ------------------------------------------------------------------
+
+    def _fast_forward(self, cycle: int) -> bool:
+        """Jump over a provably dead stretch of cycles; True if it did.
+
+        A cycle is *dead* when every stage is a no-op whose only effect is
+        bookkeeping this method can replay in bulk: no completion event is
+        due, no branch resolution is pending, the IQ is quiescent (nothing
+        ready, no pending RV grant / mode switch / mover work), the ROB
+        head is not completed, and dispatch is blocked by a hazard that
+        cannot clear on its own.  Nothing in the machine changes across
+        dead cycles, so the stretch up to the next *wake source* can be
+        skipped in one jump — provided the jump also stops at every cycle
+        where an observable side channel fires (telemetry interval close,
+        periodic snapshot, watchdog / near-stall horizon, run limit), so
+        that the normal step executes those cycles and the run stays
+        bit-identical to the reference engine.
+        """
+        # Cheapest, most-discriminating checks first: on a busy cycle the
+        # ready set is almost never empty, and that test is two attribute
+        # loads — where min() over the completion-event buckets is O(ROB).
+        iq = self.iq
+        if not iq.quiescent or iq.wants_flush:
+            return False
+        frontend = self.frontend
+        if frontend._resolved is not None:
+            return False
+        events = self._events
+        if events:
+            next_event = min(events)
+            if next_event <= cycle:
+                return False
+        else:
+            next_event = None
+        head = self.rob.head()
+        if head is not None and head.completed:
+            return False  # commit has work
+        # Dispatch must be provably dead, with at most one stall counter
+        # whose per-cycle increments this method bulk-accounts.
+        stall_attr = None
+        resume_cap = None
+        if frontend.stalled(cycle):
+            stall_attr = "fetch_stall_cycles"
+            resume_cap = frontend.resume_cycle
+        elif frontend.wrong_path_mode:
+            if self.config.wrong_path_fetch:
+                # peek() synthesizes junk (and consumes RNG state) every
+                # cycle in this mode; the cycle is never dead.
+                return False
+            # Stall-on-mispredict ablation: peek() returns None with no
+            # stall counter until the branch resolves (a completion event).
+        elif not frontend.has_more():
+            pass  # trace drained; remaining work is all in flight
+        else:
+            entry = frontend.next_fetch_entry()
+            if entry is None:
+                return False  # peek() would start an I-cache access
+            if self.rob.is_full:
+                stall_attr = "dispatch_stall_rob"
+            elif not iq.can_dispatch():
+                stall_attr = "dispatch_stall_iq"
+            elif entry.mem_addr is not None and self.lsq.is_full:
+                stall_attr = "dispatch_stall_lsq"
+            else:
+                # Replicate RenameUnit.can_rename without building the
+                # DynInst: only a register-file hazard leaves the cycle
+                # dead (anything else would dispatch).
+                dest = entry.dest
+                if dest is None:
+                    return False
+                if dest < 32:
+                    if self.rename.free_int > 0:
+                        return False
+                elif self.rename.free_fp > 0:
+                    return False
+                stall_attr = "dispatch_stall_regs"
+        # Earliest cycle at which anything can change or any side channel
+        # must observably fire: the jump target is their minimum.
+        caps = []
+        if next_event is not None:
+            caps.append(next_event)
+        if resume_cap is not None:
+            caps.append(resume_cap)
+        if self.watchdog_interval is not None:
+            caps.append(self._last_commit_cycle + self.watchdog_interval)
+            if self.telemetry is not None and not self._near_stall_noted:
+                caps.append(self._last_commit_cycle + self.watchdog_interval // 2)
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            caps.append(telemetry._next_sample)
+        if self.snapshot_sink is not None:
+            caps.append(self._next_snapshot_cycle)
+        if self._run_started:
+            caps.append(self._run_limit + 1)
+        if not caps:
+            return False  # nothing bounds the jump: machine is wedged
+        target = min(caps)
+        if target <= cycle + 1:
+            return False  # nothing to skip; run the cycle normally
+        # Skip cycles [cycle, target): execute none of their stages, but
+        # replay their bookkeeping in bulk.  The next normal step runs
+        # cycle ``target`` in full.
+        span = target - cycle
+        self.ff_jumps += 1
+        self.ff_skipped_cycles += span
+        self.cycle = target
+        self.stats.cycles += span
+        if stall_attr is not None:
+            setattr(self.stats, stall_attr, getattr(self.stats, stall_attr) + span)
+        iq.tick_bulk(span)
+        if telemetry is not None:
+            # Post-increment cycle numbers, as on_cycle sees them.
+            telemetry.on_cycle_bulk(cycle + 1, target, iq.occupancy)
+        if (
+            self.snapshot_sink is not None
+            and target >= self._next_snapshot_cycle
+        ):
+            self._next_snapshot_cycle = target + (self.snapshot_interval or 1)
+            self.snapshot_sink(self)
+        return True
+
     # -- invariant guards ------------------------------------------------------------
 
     def _check_invariants(self, cycle: int) -> None:
-        """Always-on, O(1) structural checks run at the end of every cycle.
+        """Guard layer run at the end of every cycle.
 
-        Catches state corruption (a model bug or an injected fault) at the
-        cycle it happens instead of cycles later as a bogus result or a
-        divergence timeout.  Anything heavier than a handful of comparisons
-        belongs in tests, not here: this runs hundreds of thousands of
-        times per simulation.
+        The structural checks (ROB occupancy, IQ self-check) catch state
+        corruption -- a model bug or an injected fault -- at the cycle it
+        happens instead of cycles later as a bogus result or a divergence
+        timeout.  They are side-effect free, so the "sampled" guard mode
+        runs them one cycle in :data:`~repro.core.base.GUARD_SAMPLE_PERIOD`
+        ("full" checks every cycle, as chaos tests require).  The
+        forward-progress watchdog stays always-on: it has semantics (it
+        terminates livelocked runs) and is a couple of integer compares.
         """
-        if len(self.rob) > self.rob.capacity:
-            raise InvariantViolation(
-                "rob-occupancy",
-                f"{len(self.rob)} entries in a {self.rob.capacity}-entry ROB",
-                cycle=cycle,
-            )
-        self.iq.check_invariants()
+        guards = self.guards
+        if guards == "full" or (
+            guards == "sampled" and not cycle & (GUARD_SAMPLE_PERIOD - 1)
+        ):
+            if len(self.rob) > self.rob.capacity:
+                raise InvariantViolation(
+                    "rob-occupancy",
+                    f"{len(self.rob)} entries in a {self.rob.capacity}-entry ROB",
+                    cycle=cycle,
+                )
+            self.iq.check_invariants()
         if self.watchdog_interval is not None:
             stall = cycle - self._last_commit_cycle
             if stall >= self.watchdog_interval:
@@ -448,35 +608,41 @@ class Pipeline:
     # -- stages ---------------------------------------------------------------------
 
     def _complete(self, cycle: int) -> None:
-        for inst in self._events.pop(cycle, ()):
-            if inst.squashed:
-                continue
-            inst.completed = True
-            inst.complete_cycle = cycle
-            for consumer in inst.consumers:
-                if consumer.squashed:
+        finishing = self._events.pop(cycle, None)
+        frontend = self.frontend
+        if finishing:
+            iq_wakeup = self.iq.wakeup
+            faults = self.faults
+            for inst in finishing:
+                if inst.squashed:
                     continue
-                consumer.pending_sources -= 1
-                if consumer.pending_sources == 0 and consumer.in_iq:
-                    if self.faults is not None and self.faults.drop_wakeup(consumer):
-                        if self.telemetry is not None:
-                            self.telemetry.event(
-                                EV_FAULT,
-                                cycle=cycle,
-                                category="fault",
-                                kind="drop-wakeup",
-                                victim_seq=consumer.seq,
-                            )
+                inst.completed = True
+                inst.complete_cycle = cycle
+                for consumer in inst.consumers:
+                    if consumer.squashed:
                         continue
-                    self.iq.wakeup(consumer)
-            self.frontend.on_complete(inst, cycle)
-        resolved = self.frontend.take_resolved()
-        if resolved is not None:
+                    consumer.pending_sources -= 1
+                    if consumer.pending_sources == 0 and consumer.in_iq:
+                        if faults is not None and faults.drop_wakeup(consumer):
+                            if self.telemetry is not None:
+                                self.telemetry.event(
+                                    EV_FAULT,
+                                    cycle=cycle,
+                                    category="fault",
+                                    kind="drop-wakeup",
+                                    victim_seq=consumer.seq,
+                                )
+                            continue
+                        iq_wakeup(consumer)
+                frontend.on_complete(inst, cycle)
+        if frontend._resolved is not None:
+            resolved = frontend.take_resolved()
             self._squash_younger(resolved)
 
     def _commit(self, cycle: int) -> None:
         committed = 0
-        while committed < self.config.width:
+        width = self.config.width
+        while committed < width:
             head = self.rob.head()
             if head is None or not head.completed:
                 break
@@ -516,25 +682,21 @@ class Pipeline:
         self.iq.note_commit(committed, self.stats.llc_misses)
 
     def _issue(self, cycle: int) -> None:
+        # Grant sanity (double-issue / issue-unready / issue-squashed) is
+        # the guard layer's job, checked once in IssueQueue._commit_grants.
         issued = self.iq.select(self.fu_pool, cycle)
+        if not issued:
+            return
+        events = self._events
         for inst in issued:
-            if inst.issued:
-                raise InvariantViolation(
-                    "double-issue",
-                    f"instruction #{inst.seq} issued twice",
-                    cycle=cycle,
-                )
-            if inst.pending_sources:
-                raise InvariantViolation(
-                    "issue-unready",
-                    f"instruction #{inst.seq} issued with "
-                    f"{inst.pending_sources} unresolved sources",
-                    cycle=cycle,
-                )
             inst.issued = True
             inst.issue_cycle = cycle
-            latency = self._execution_latency(inst, cycle)
-            self._events.setdefault(cycle + latency, []).append(inst)
+            finish = cycle + self._execution_latency(inst, cycle)
+            bucket = events.get(finish)
+            if bucket is None:
+                events[finish] = [inst]
+            else:
+                bucket.append(inst)
         self.stats.issued += len(issued)
         # Each issued instruction eventually broadcasts its destination tag.
         self.stats.iq_wakeup_broadcasts += len(issued)
@@ -554,41 +716,49 @@ class Pipeline:
             # blocks the pipeline, but it does generate cache/DRAM traffic.
             self.hierarchy.access_data(inst.trace.mem_addr, cycle + 1, is_store=True)
             return 1
-        return OP_LATENCY[op]
+        return inst.base_latency
 
     def _dispatch(self, cycle: int) -> None:
+        frontend = self.frontend
+        rob = self.rob
+        iq = self.iq
+        lsq = self.lsq
+        rename = self.rename
+        stats = self.stats
+        peek = frontend.peek
         dispatched = 0
-        while dispatched < self.config.width:
-            trace_inst = self.frontend.peek(cycle)
+        width = self.config.width
+        while dispatched < width:
+            trace_inst = peek(cycle)
             if trace_inst is None:
-                if dispatched == 0 and self.frontend.stalled(cycle):
-                    self.stats.fetch_stall_cycles += 1
+                if dispatched == 0 and frontend.stalled(cycle):
+                    stats.fetch_stall_cycles += 1
                 break
-            if self.rob.is_full:
-                self.stats.dispatch_stall_rob += 1
+            if rob.is_full:
+                stats.dispatch_stall_rob += 1
                 break
-            if not self.iq.can_dispatch():
-                self.stats.dispatch_stall_iq += 1
+            if not iq.can_dispatch():
+                stats.dispatch_stall_iq += 1
                 break
             is_mem = trace_inst.mem_addr is not None
-            if is_mem and self.lsq.is_full:
-                self.stats.dispatch_stall_lsq += 1
+            if is_mem and lsq.is_full:
+                stats.dispatch_stall_lsq += 1
                 break
             inst = DynInst(trace_inst, cycle)
-            if not self.rename.can_rename(inst):
-                self.stats.dispatch_stall_regs += 1
+            if not rename.can_rename(inst):
+                stats.dispatch_stall_regs += 1
                 break
-            self.rename.rename(inst)
-            self.rob.push(inst)
+            rename.rename(inst)
+            rob.push(inst)
             if is_mem:
-                self.lsq.insert(inst)
-            self.iq.dispatch(inst)
-            self.stats.iq_dispatch_writes += 1
+                lsq.insert(inst)
+            iq.dispatch(inst)
+            stats.iq_dispatch_writes += 1
             if inst.pending_sources == 0:
-                self.iq.wakeup(inst)
+                iq.wakeup(inst)
             dispatched += 1
-            self.stats.dispatched += 1
-            if not self.frontend.advance(cycle, inst):
+            stats.dispatched += 1
+            if not frontend.advance(cycle, inst):
                 break
 
     # -- recovery ------------------------------------------------------------------

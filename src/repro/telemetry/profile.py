@@ -109,14 +109,22 @@ class ThroughputResult:
     instructions_per_sec: float
     ipc: float
     telemetry_enabled: bool
+    #: Which execution engine produced the measurement.
+    engine: str = "reference"
     #: Per-stage wall-time shares (empty unless stage profiling was on).
     stage_shares: Dict[str, float] = field(default_factory=dict)
 
+    @property
+    def cell_key(self) -> str:
+        """The (config, policy, engine) trajectory-cell identity."""
+        return f"{self.config}/{self.policy}/{self.engine}"
+
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "workload": self.workload,
             "policy": self.policy,
             "config": self.config,
+            "engine": self.engine,
             "num_instructions": self.num_instructions,
             "cycles": self.cycles,
             "seconds": round(self.seconds, 4),
@@ -124,10 +132,14 @@ class ThroughputResult:
             "instructions_per_sec": round(self.instructions_per_sec, 1),
             "ipc": round(self.ipc, 4),
             "telemetry_enabled": self.telemetry_enabled,
-            "stage_shares": {
-                name: round(share, 4) for name, share in self.stage_shares.items()
-            },
         }
+        if self.stage_shares:
+            # Only emitted when stage profiling actually ran: an empty
+            # {} in sub-records used to masquerade as a measurement.
+            payload["stage_shares"] = {
+                name: round(share, 4) for name, share in self.stage_shares.items()
+            }
+        return payload
 
 
 def measure_throughput(
@@ -139,6 +151,7 @@ def measure_throughput(
     telemetry: Optional[Telemetry] = None,
     profile_stages: bool = False,
     repeats: int = 1,
+    fast: bool = False,
 ) -> ThroughputResult:
     """Time ``repeats`` full simulations; report the fastest.
 
@@ -160,7 +173,7 @@ def measure_throughput(
     for _ in range(repeats):
         stats = PipelineStats()
         iq = build_issue_queue(policy, config, stats=stats, trace=trace)
-        pipeline = Pipeline(trace, config, iq, stats=stats)
+        pipeline = Pipeline(trace, config, iq, stats=stats, fast=fast)
         profiler = StageProfiler() if profile_stages else None
         pipeline.profiler = profiler
         run_telemetry = telemetry
@@ -182,6 +195,7 @@ def measure_throughput(
             instructions_per_sec=stats.committed / seconds if seconds > 0 else 0.0,
             ipc=stats.ipc,
             telemetry_enabled=run_telemetry is not None and run_telemetry.enabled,
+            engine="fast" if fast else "reference",
             stage_shares=profiler.shares() if profiler is not None else {},
         )
         if best is None or result.cycles_per_sec > best.cycles_per_sec:
@@ -199,11 +213,18 @@ def host_info() -> dict:
     }
 
 
+#: Trajectory history entries kept in ``BENCH_swque.json`` (append-style;
+#: the oldest runs age out so the artifact stays reviewable).
+HISTORY_LIMIT = 50
+
+
 def bench_payload(
     baseline: ThroughputResult,
     with_telemetry: Optional[ThroughputResult] = None,
     smoke: bool = False,
     stage_shares: Optional[Dict[str, float]] = None,
+    cells: Optional[Dict[str, ThroughputResult]] = None,
+    history: Optional[list] = None,
 ) -> dict:
     """Assemble the ``BENCH_swque.json`` document (repo-root artifact).
 
@@ -211,13 +232,20 @@ def bench_payload(
     profiler); per-stage shares come from their own profiled run via
     ``stage_shares``, because even the sampled profiler's per-cycle
     modulo check costs enough to bias the headline rate.
+
+    ``cells`` turns the document into a multi-config trajectory: a map of
+    ``config/policy/engine`` -> measurement, each its own regression-gate
+    cell.  ``history`` is the previously recorded trajectory (a list of
+    per-run summaries); this run is appended, bounded by
+    :data:`HISTORY_LIMIT`.
     """
+    recorded_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     payload = {
         "benchmark": "simulator-throughput",
         "telemetry_schema_version": TELEMETRY_SCHEMA_VERSION,
         "smoke": smoke,
         "host": host_info(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "recorded_at": recorded_at,
         "cycles_per_sec": round(baseline.cycles_per_sec, 1),
         "telemetry_off": baseline.as_dict(),
     }
@@ -231,4 +259,27 @@ def bench_payload(
         payload["stage_shares"] = {
             name: round(share, 4) for name, share in stage_shares.items()
         }
+    if cells is not None:
+        payload["cells"] = {
+            key: result.as_dict() for key, result in sorted(cells.items())
+        }
+        fast_key = baseline.cell_key.rsplit("/", 1)[0] + "/fast"
+        fast = cells.get(fast_key)
+        if fast is not None:
+            payload["fast_cycles_per_sec"] = round(fast.cycles_per_sec, 1)
+            if baseline.cycles_per_sec > 0:
+                payload["fast_speedup"] = round(
+                    fast.cycles_per_sec / baseline.cycles_per_sec, 3
+                )
+        entry = {
+            "recorded_at": recorded_at,
+            "smoke": smoke,
+            "cells": {
+                key: round(result.cycles_per_sec, 1)
+                for key, result in sorted(cells.items())
+            },
+        }
+        payload["history"] = (list(history) if history else [])[
+            -(HISTORY_LIMIT - 1):
+        ] + [entry]
     return payload

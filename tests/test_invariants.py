@@ -16,14 +16,16 @@ from repro.sim.simulator import simulate
 N = 3000
 
 
-def build_pipeline(policy="age", n=N):
+def build_pipeline(policy="age", n=N, guards="full"):
     from repro.workloads.generator import generate_trace
     from repro.workloads.spec2017 import get_profile
 
     trace = generate_trace(get_profile("exchange2"), n)
     stats = PipelineStats()
     iq = build_issue_queue(policy, MEDIUM, stats=stats, trace=trace)
-    return Pipeline(trace, MEDIUM, iq, stats=stats)
+    # Full guards: these tests corrupt state and expect detection on the
+    # very next cycle, which sampled guards deliberately do not promise.
+    return Pipeline(trace, MEDIUM, iq, stats=stats, guards=guards)
 
 
 class TestFaultSpec:
